@@ -1,0 +1,69 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig9a
+//	experiments -run all -pop 150 -ram-pop 150
+//
+// Output is the fixed-width text form of each figure's rows/series;
+// EXPERIMENTS.md maps each to the paper's plot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment ids")
+		run     = flag.String("run", "all", "experiment id or 'all'")
+		seed    = flag.Uint64("seed", 42, "base seed")
+		runs    = flag.Int("runs", 3, "runs per workload for distribution figures")
+		gens    = flag.Int("generations", 30, "generation budget (control workloads)")
+		pop     = flag.Int("pop", 64, "population (control workloads; paper: 150)")
+		ramPop  = flag.Int("ram-pop", 32, "population for 128-byte RAM workloads")
+		ramGens = flag.Int("ram-generations", 6, "generation budget for RAM workloads")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+
+	opt := experiments.Options{
+		Seed:           *seed,
+		Runs:           *runs,
+		MaxGenerations: *gens,
+		Population:     *pop,
+		RAMPopulation:  *ramPop,
+		RAMGenerations: *ramGens,
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+	failed := false
+	for _, id := range ids {
+		res, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

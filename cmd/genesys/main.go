@@ -1,0 +1,133 @@
+// Command genesys evolves a workload on the simulated GeneSys SoC: the
+// full closed loop of the paper — ADAM inference against the
+// environment, EvE reproduction — with per-generation algorithm and
+// hardware reporting.
+//
+// Usage:
+//
+//	genesys -workload cartpole -generations 100 -pop 150 -hw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/evolve"
+)
+
+func main() {
+	var (
+		workload    = flag.String("workload", "cartpole", "task to evolve: "+strings.Join(evolve.WorkloadNames(), ", "))
+		generations = flag.Int("generations", 50, "generation budget")
+		pop         = flag.Int("pop", 150, "population size")
+		seed        = flag.Uint64("seed", 42, "run seed")
+		hw          = flag.Bool("hw", true, "account every generation on the simulated SoC")
+		quiet       = flag.Bool("quiet", false, "suppress per-generation lines")
+		save        = flag.String("save", "", "write the best evolved genome to this JSON file")
+		functional  = flag.Bool("functional", false, "compute (not just account) the run on the functional EvE/ADAM datapaths")
+	)
+	flag.Parse()
+
+	if *functional {
+		runFunctional(*workload, *pop, *generations, *seed, *quiet)
+		return
+	}
+
+	sys, err := core.New(core.Config{
+		Workload:       *workload,
+		Seed:           *seed,
+		Population:     *pop,
+		HardwareInLoop: *hw,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genesys:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("evolving %s: pop=%d budget=%d generations, target fitness %.1f\n",
+		*workload, *pop, *generations, sys.Workload().Target)
+	for g := 0; g < *generations; g++ {
+		res, err := sys.RunGeneration()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genesys:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			line := fmt.Sprintf("gen %3d  max %8.2f  mean %8.2f  species %2d  genes %6d",
+				res.Stats.Generation, res.Stats.MaxFitness, res.Stats.MeanFitness,
+				res.Stats.NumSpecies, res.Stats.TotalGenes)
+			if res.HasHW {
+				line += fmt.Sprintf("  | soc: %.3f ms  %.2f uJ  move %4.1f%%",
+					res.HW.TotalSeconds*1e3, res.HW.TotalEnergyPJ/1e6,
+					res.HW.DataMovementFraction()*100)
+			}
+			fmt.Println(line)
+		}
+		if res.Stats.Solved {
+			fmt.Printf("solved at generation %d (fitness %.2f >= target %.1f)\n",
+				res.Stats.Generation, res.Stats.MaxFitness, sys.Workload().Target)
+			break
+		}
+	}
+
+	sum := sys.Summary()
+	fmt.Printf("\nsummary: solved=%v generations=%d best=%.2f\n",
+		sum.Solved, sum.Generations, sum.BestFitness)
+	if *hw {
+		fmt.Printf("soc: %d cycles, %.3f ms wall, %.2f uJ total, avg %.1f mW\n",
+			sum.TotalCycles, sum.TotalSeconds*1e3, sum.TotalEnergyPJ/1e6,
+			sum.TotalEnergyPJ/1e9/sum.TotalSeconds)
+	}
+
+	if *save != "" {
+		// BestEver updates during reproduction; a run that solves on its
+		// final generation holds the winner in the live population.
+		best := sys.Runner().Pop.BestEver
+		if cur := sys.Runner().Pop.Best(); best == nil ||
+			(cur != nil && cur.Fitness > best.Fitness) {
+			best = cur
+		}
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genesys:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := best.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, "genesys:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("best genome (%d genes, fitness %.2f) written to %s\n",
+			best.NumGenes(), best.Fitness, *save)
+	}
+}
+
+// runFunctional drives the functional-datapath loop: inference on the
+// simulated systolic array, reproduction through the PE pipeline.
+func runFunctional(workload string, pop, generations int, seed uint64, quiet bool) {
+	sys, err := core.NewFunctional(workload, pop, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genesys:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("evolving %s on the functional datapath (pop=%d)\n", workload, pop)
+	for g := 0; g < generations; g++ {
+		st, err := sys.RunGeneration()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genesys:", err)
+			os.Exit(1)
+		}
+		if !quiet {
+			fmt.Printf("gen %3d  max %8.2f  mean %8.2f  array-cycles %10d  pe-genes %7d\n",
+				st.Generation, st.MaxFitness, st.MeanFitness, st.ArrayCycles, st.PEGenes)
+		}
+		if st.Solved {
+			fmt.Printf("solved at generation %d\n", st.Generation)
+			return
+		}
+	}
+	fmt.Println("budget exhausted")
+}

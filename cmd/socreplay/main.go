@@ -1,0 +1,86 @@
+// Command socreplay replays a reproduction trace (produced by
+// `characterize -trace`) through the EvE hardware model at an arbitrary
+// design point — the paper's trace-driven evaluation methodology as a
+// standalone tool.
+//
+// Usage:
+//
+//	characterize -workload alien-ram -generations 5 -trace alien.trace
+//	socreplay -trace alien.trace -pes 256 -noc multicast
+//	socreplay -trace alien.trace -pes 8 -noc p2p -alloc fifo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/hw/eve"
+	"repro/internal/hw/noc"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file to replay (required)")
+		pes       = flag.Int("pes", 256, "EvE PE count")
+		nocKind   = flag.String("noc", "multicast", "interconnect: multicast | p2p")
+		alloc     = flag.String("alloc", "greedy", "PE allocation: greedy | fifo")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "socreplay:", err)
+		os.Exit(1)
+	}
+	tr, err := trace.Parse(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "socreplay:", err)
+		os.Exit(1)
+	}
+
+	kind := noc.MulticastTree
+	switch *nocKind {
+	case "multicast":
+	case "p2p":
+		kind = noc.PointToPoint
+	default:
+		fmt.Fprintf(os.Stderr, "socreplay: unknown noc %q\n", *nocKind)
+		os.Exit(2)
+	}
+	cfg := eve.DefaultConfig(*pes, kind)
+	switch *alloc {
+	case "greedy":
+		cfg.Allocation = eve.AllocGreedy
+	case "fifo":
+		cfg.Allocation = eve.AllocFIFO
+	default:
+		fmt.Fprintf(os.Stderr, "socreplay: unknown allocation %q\n", *alloc)
+		os.Exit(2)
+	}
+
+	engine := eve.New(cfg, nil)
+	fmt.Printf("replaying %s: %d generations on %d PEs, %s NoC, %s allocation\n\n",
+		*tracePath, len(tr.Generations), *pes, kind, cfg.Allocation)
+	fmt.Printf("%-4s %-9s %-8s %-11s %-11s %-9s %-9s %-7s\n",
+		"gen", "children", "waves", "cycles", "sram-rd", "sram-wr", "uJ", "util%")
+	var totCycles int64
+	var totEnergy float64
+	for i := range tr.Generations {
+		g := &tr.Generations[i]
+		r := engine.RunGeneration(g)
+		totCycles += r.TotalCycles
+		totEnergy += r.TotalEnergyPJ()
+		fmt.Printf("%-4d %-9d %-8d %-11d %-11d %-9d %-9.2f %-7.1f\n",
+			g.Index, r.Children, r.Waves, r.TotalCycles, r.SRAMReads, r.SRAMWrites,
+			r.TotalEnergyPJ()/1e6, r.Utilization*100)
+	}
+	fmt.Printf("\ntotal: %d cycles (%.3f ms @200MHz), %.2f uJ\n",
+		totCycles, float64(totCycles)/200e6*1e3, totEnergy/1e6)
+}

@@ -1,0 +1,44 @@
+// Functional datapath: evolution computed by the hardware models.
+//
+// Everything in this example happens at hardware semantics — genomes
+// live as quantized 64-bit gene words, every inference runs on the
+// simulated 32×32 systolic array (wavefront-accurate), and every child
+// is produced by streaming aligned parent genes through the functional
+// four-stage PE pipeline driven by 8-bit XOR-WOW draws. The paper's
+// claim that GeneSys "evolves the topology and weights of neural
+// networks completely in hardware" is executed, not estimated.
+//
+//	go run ./examples/functional
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	sys, err := core.NewFunctional("cartpole", 100, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("cartpole on the functional GeneSys datapath")
+	fmt.Printf("%-4s %-9s %-9s %-14s %-10s\n",
+		"gen", "best", "mean", "array-cycles", "pe-genes")
+	for gen := 0; gen < 40; gen++ {
+		st, err := sys.RunGeneration()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4d %-9.1f %-9.1f %-14d %-10d\n",
+			st.Generation, st.MaxFitness, st.MeanFitness, st.ArrayCycles, st.PEGenes)
+		if st.Solved {
+			fmt.Println("solved — every arithmetic operation of this run went through",
+				"the simulated EvE and ADAM datapaths.")
+			return
+		}
+	}
+	fmt.Println("budget exhausted")
+}

@@ -1,0 +1,283 @@
+// Package dnn is a minimal dense neural network with backpropagation —
+// the substrate the paper's reinforcement-learning baselines (DQN, the
+// footnote-1 comparison) train with. It exists to make Table II's
+// comparison measurable rather than quoted: the MLP counts its forward
+// MACs and backward gradient operations, so the DQN-vs-EA compute rows
+// come from executed arithmetic.
+//
+// Design: plain fully-connected layers, ReLU hidden activations,
+// linear output, mean-squared error on selected outputs (the DQN TD
+// loss), and SGD with gradient clipping. No tensors, no
+// vectorization — clarity and countability over speed.
+package dnn
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// MLP is a fully-connected network with ReLU hidden layers and a
+// linear output layer.
+type MLP struct {
+	sizes []int
+	// w[l][i][j] is the weight from unit j of layer l to unit i of
+	// layer l+1; b[l][i] the bias of unit i of layer l+1.
+	w [][][]float64
+	b [][]float64
+
+	// Per-example caches (reused across calls).
+	acts [][]float64 // post-activation values per layer
+	pre  [][]float64 // pre-activation values per non-input layer
+	dw   [][][]float64
+	db   [][]float64
+
+	// Counters for the Table II comparison.
+	ForwardMACs int64
+	GradOps     int64
+}
+
+// NewMLP builds a network with the given layer sizes (input first),
+// He-initialized weights.
+func NewMLP(r *rng.XorWow, sizes ...int) (*MLP, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("dnn: need at least input and output layers, have %v", sizes)
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("dnn: non-positive layer size in %v", sizes)
+		}
+	}
+	m := &MLP{sizes: append([]int(nil), sizes...)}
+	for l := 0; l+1 < len(sizes); l++ {
+		in, out := sizes[l], sizes[l+1]
+		wl := make([][]float64, out)
+		scale := 1.41421356 / sqrtFloat(float64(in)) // He init
+		for i := range wl {
+			wl[i] = make([]float64, in)
+			for j := range wl[i] {
+				wl[i][j] = r.NormFloat64() * scale
+			}
+		}
+		m.w = append(m.w, wl)
+		m.b = append(m.b, make([]float64, out))
+		m.dw = append(m.dw, zeros2(out, in))
+		m.db = append(m.db, make([]float64, out))
+	}
+	m.acts = make([][]float64, len(sizes))
+	m.pre = make([][]float64, len(sizes)-1)
+	for l, s := range sizes {
+		m.acts[l] = make([]float64, s)
+		if l > 0 {
+			m.pre[l-1] = make([]float64, s)
+		}
+	}
+	return m, nil
+}
+
+func zeros2(r, c int) [][]float64 {
+	out := make([][]float64, r)
+	for i := range out {
+		out[i] = make([]float64, c)
+	}
+	return out
+}
+
+func sqrtFloat(v float64) float64 {
+	// Newton iterations are plenty for an init scale.
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 32; i++ {
+		x = 0.5 * (x + v/x)
+	}
+	return x
+}
+
+// NumInputs returns the input width.
+func (m *MLP) NumInputs() int { return m.sizes[0] }
+
+// NumOutputs returns the output width.
+func (m *MLP) NumOutputs() int { return m.sizes[len(m.sizes)-1] }
+
+// Params returns the parameter count.
+func (m *MLP) Params() int64 {
+	var n int64
+	for l := range m.w {
+		n += int64(len(m.w[l]))*int64(len(m.w[l][0])) + int64(len(m.b[l]))
+	}
+	return n
+}
+
+// Forward evaluates the network; the returned slice is reused across
+// calls.
+func (m *MLP) Forward(x []float64) ([]float64, error) {
+	if len(x) != m.sizes[0] {
+		return nil, fmt.Errorf("dnn: input width %d, want %d", len(x), m.sizes[0])
+	}
+	copy(m.acts[0], x)
+	last := len(m.w) - 1
+	for l := range m.w {
+		in := m.acts[l]
+		for i := range m.w[l] {
+			sum := m.b[l][i]
+			row := m.w[l][i]
+			for j, v := range in {
+				sum += row[j] * v
+			}
+			m.ForwardMACs += int64(len(in))
+			m.pre[l][i] = sum
+			if l < last && sum < 0 { // ReLU on hidden layers
+				sum = 0
+			}
+			m.acts[l+1][i] = sum
+		}
+	}
+	return m.acts[len(m.acts)-1], nil
+}
+
+// BackwardMSE backpropagates a mean-squared-error loss applied to a
+// subset of outputs: for each (index, target) pair the output-layer
+// error is (out - target); other outputs carry zero error (the DQN TD
+// update touches only the taken action's Q value). Gradients
+// accumulate into the internal buffers until SGDStep applies them.
+// Forward must have been called for this example.
+func (m *MLP) BackwardMSE(indices []int, targets []float64) error {
+	if len(indices) != len(targets) {
+		return fmt.Errorf("dnn: %d indices for %d targets", len(indices), len(targets))
+	}
+	last := len(m.w) - 1
+	delta := make([]float64, m.sizes[len(m.sizes)-1])
+	for k, idx := range indices {
+		if idx < 0 || idx >= len(delta) {
+			return fmt.Errorf("dnn: output index %d out of range", idx)
+		}
+		delta[idx] = m.acts[len(m.acts)-1][idx] - targets[k]
+	}
+	for l := last; l >= 0; l-- {
+		in := m.acts[l]
+		nextDelta := make([]float64, m.sizes[l])
+		for i, d := range delta {
+			if d == 0 {
+				continue
+			}
+			m.db[l][i] += d
+			row := m.w[l][i]
+			drow := m.dw[l][i]
+			for j := range row {
+				drow[j] += d * in[j]
+				nextDelta[j] += d * row[j]
+			}
+			m.GradOps += 2 * int64(len(row))
+		}
+		if l > 0 {
+			// ReLU derivative of the upstream layer.
+			for j := range nextDelta {
+				if m.pre[l-1][j] <= 0 {
+					nextDelta[j] = 0
+				}
+			}
+		}
+		delta = nextDelta
+	}
+	return nil
+}
+
+// SGDStep applies accumulated gradients scaled by lr/batch with
+// element-wise clipping, then clears them.
+func (m *MLP) SGDStep(lr float64, batch int, clip float64) {
+	if batch < 1 {
+		batch = 1
+	}
+	scale := lr / float64(batch)
+	for l := range m.w {
+		for i := range m.w[l] {
+			for j := range m.w[l][i] {
+				g := m.dw[l][i][j] * scale
+				if clip > 0 {
+					if g > clip {
+						g = clip
+					}
+					if g < -clip {
+						g = -clip
+					}
+				}
+				m.w[l][i][j] -= g
+				m.dw[l][i][j] = 0
+			}
+			g := m.db[l][i] * scale
+			if clip > 0 {
+				if g > clip {
+					g = clip
+				}
+				if g < -clip {
+					g = -clip
+				}
+			}
+			m.b[l][i] -= g
+			m.db[l][i] = 0
+		}
+	}
+}
+
+// CopyFrom copies the other network's parameters (target-network
+// refresh). Shapes must match.
+func (m *MLP) CopyFrom(o *MLP) error {
+	if len(m.w) != len(o.w) {
+		return fmt.Errorf("dnn: layer count mismatch")
+	}
+	for l := range m.w {
+		if len(m.w[l]) != len(o.w[l]) || len(m.w[l][0]) != len(o.w[l][0]) {
+			return fmt.Errorf("dnn: layer %d shape mismatch", l)
+		}
+		for i := range m.w[l] {
+			copy(m.w[l][i], o.w[l][i])
+		}
+		copy(m.b[l], o.b[l])
+	}
+	return nil
+}
+
+// FlatParams returns all parameters as one vector (weights
+// layer-major, then biases) — the parameter space evolution strategies
+// perturb.
+func (m *MLP) FlatParams() []float64 {
+	out := make([]float64, 0, m.Params())
+	for l := range m.w {
+		for i := range m.w[l] {
+			out = append(out, m.w[l][i]...)
+		}
+	}
+	for l := range m.b {
+		out = append(out, m.b[l]...)
+	}
+	return out
+}
+
+// SetFlatParams installs a parameter vector produced by FlatParams.
+func (m *MLP) SetFlatParams(p []float64) error {
+	if int64(len(p)) != m.Params() {
+		return fmt.Errorf("dnn: %d params, want %d", len(p), m.Params())
+	}
+	k := 0
+	for l := range m.w {
+		for i := range m.w[l] {
+			k += copy(m.w[l][i], p[k:])
+		}
+	}
+	for l := range m.b {
+		k += copy(m.b[l], p[k:])
+	}
+	return nil
+}
+
+// MemoryBytes returns the parameter + activation storage in float64s
+// ×8 (the measured counterpart of Table II's params/activations row).
+func (m *MLP) MemoryBytes() int64 {
+	var acts int64
+	for _, s := range m.sizes {
+		acts += int64(s)
+	}
+	return (m.Params() + acts) * 8
+}

@@ -1,0 +1,226 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNewMLPValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := NewMLP(r, 4); err == nil {
+		t.Fatal("single-layer network accepted")
+	}
+	if _, err := NewMLP(r, 4, 0, 2); err == nil {
+		t.Fatal("zero-width layer accepted")
+	}
+	m, err := NewMLP(r, 4, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumInputs() != 4 || m.NumOutputs() != 2 {
+		t.Fatalf("io %d/%d", m.NumInputs(), m.NumOutputs())
+	}
+	if m.Params() != 4*8+8+8*2+2 {
+		t.Fatalf("params %d", m.Params())
+	}
+}
+
+func TestForwardWidthCheck(t *testing.T) {
+	m, _ := NewMLP(rng.New(1), 3, 2)
+	if _, err := m.Forward([]float64{1}); err == nil {
+		t.Fatal("wrong input width accepted")
+	}
+}
+
+func TestForwardCountsMACs(t *testing.T) {
+	m, _ := NewMLP(rng.New(1), 4, 8, 2)
+	if _, err := m.Forward(make([]float64, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if m.ForwardMACs != 4*8+8*2 {
+		t.Fatalf("forward MACs %d, want 48", m.ForwardMACs)
+	}
+}
+
+// TestGradientCheck verifies backprop against numerical gradients —
+// the canonical correctness property of a backprop engine.
+func TestGradientCheck(t *testing.T) {
+	r := rng.New(7)
+	m, _ := NewMLP(r, 3, 5, 4, 2)
+	x := []float64{0.5, -0.3, 0.8}
+	outIdx, target := 1, 0.7
+
+	loss := func() float64 {
+		out, err := m.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := out[outIdx] - target
+		return 0.5 * d * d
+	}
+
+	// Analytic gradients.
+	if _, err := m.Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BackwardMSE([]int{outIdx}, []float64{target}); err != nil {
+		t.Fatal(err)
+	}
+
+	const eps = 1e-6
+	checks := 0
+	for l := range m.w {
+		for i := 0; i < len(m.w[l]); i += 2 {
+			for j := 0; j < len(m.w[l][i]); j += 2 {
+				orig := m.w[l][i][j]
+				m.w[l][i][j] = orig + eps
+				up := loss()
+				m.w[l][i][j] = orig - eps
+				down := loss()
+				m.w[l][i][j] = orig
+				numeric := (up - down) / (2 * eps)
+				analytic := m.dw[l][i][j]
+				if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
+					t.Fatalf("grad mismatch at w[%d][%d][%d]: analytic %v numeric %v",
+						l, i, j, analytic, numeric)
+				}
+				checks++
+			}
+		}
+	}
+	if checks < 10 {
+		t.Fatalf("only %d gradient checks ran", checks)
+	}
+}
+
+func TestSGDReducesLoss(t *testing.T) {
+	r := rng.New(3)
+	m, _ := NewMLP(r, 2, 16, 1)
+	// Fit y = x0 + 2*x1 on a few points.
+	points := [][3]float64{{0.1, 0.2, 0.5}, {0.5, -0.1, 0.3}, {-0.3, 0.4, 0.5}, {0.8, 0.1, 1.0}}
+	mse := func() float64 {
+		var sum float64
+		for _, p := range points {
+			out, _ := m.Forward(p[:2])
+			d := out[0] - p[2]
+			sum += d * d
+		}
+		return sum / float64(len(points))
+	}
+	before := mse()
+	for iter := 0; iter < 500; iter++ {
+		for _, p := range points {
+			if _, err := m.Forward(p[:2]); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.BackwardMSE([]int{0}, []float64{p[2]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.SGDStep(0.05, len(points), 1)
+	}
+	after := mse()
+	if after > before/10 {
+		t.Fatalf("training did not converge: %v -> %v", before, after)
+	}
+	if m.GradOps == 0 {
+		t.Fatal("no gradient ops counted")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a, _ := NewMLP(rng.New(1), 3, 4, 2)
+	b, _ := NewMLP(rng.New(2), 3, 4, 2)
+	if err := b.CopyFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, -0.2, 0.9}
+	ya, _ := a.Forward(x)
+	ya = append([]float64(nil), ya...)
+	yb, _ := b.Forward(x)
+	for i := range ya {
+		if ya[i] != yb[i] {
+			t.Fatalf("copied network differs at output %d", i)
+		}
+	}
+	c, _ := NewMLP(rng.New(3), 3, 5, 2)
+	if err := c.CopyFrom(a); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestBackwardValidation(t *testing.T) {
+	m, _ := NewMLP(rng.New(1), 2, 2)
+	if _, err := m.Forward([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BackwardMSE([]int{0, 1}, []float64{1}); err == nil {
+		t.Fatal("mismatched indices/targets accepted")
+	}
+	if err := m.BackwardMSE([]int{5}, []float64{1}); err == nil {
+		t.Fatal("out-of-range output index accepted")
+	}
+}
+
+func TestFlatParamsVectorSemantics(t *testing.T) {
+	m, _ := NewMLP(rng.New(5), 3, 4, 2)
+	p := m.FlatParams()
+	if int64(len(p)) != m.Params() {
+		t.Fatalf("flat vector %d entries for %d params", len(p), m.Params())
+	}
+	// Round trip must preserve behaviour exactly.
+	x := []float64{0.5, -1, 0.25}
+	before, _ := m.Forward(x)
+	before = append([]float64(nil), before...)
+	if err := m.SetFlatParams(p); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := m.Forward(x)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("flat-param round trip changed the function")
+		}
+	}
+	// Zeroing the vector must zero the function.
+	zero := make([]float64, len(p))
+	if err := m.SetFlatParams(zero); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := m.Forward(x)
+	for _, v := range out {
+		if v != 0 {
+			t.Fatalf("zero parameters produced %v", v)
+		}
+	}
+	if err := m.SetFlatParams(zero[:3]); err == nil {
+		t.Fatal("short vector accepted")
+	}
+}
+
+func TestSGDClipping(t *testing.T) {
+	m, _ := NewMLP(rng.New(9), 1, 1)
+	before := m.FlatParams()
+	if _, err := m.Forward([]float64{1000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BackwardMSE([]int{0}, []float64{-1000}); err != nil {
+		t.Fatal(err)
+	}
+	m.SGDStep(1.0, 1, 0.01) // huge gradient, tight clip
+	after := m.FlatParams()
+	for i := range before {
+		if d := after[i] - before[i]; d > 0.011 || d < -0.011 {
+			t.Fatalf("clipped step moved param %d by %v", i, d)
+		}
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	m, _ := NewMLP(rng.New(1), 4, 8, 2)
+	want := (m.Params() + 4 + 8 + 2) * 8
+	if m.MemoryBytes() != want {
+		t.Fatalf("memory %d, want %d", m.MemoryBytes(), want)
+	}
+}

@@ -1,0 +1,91 @@
+package env
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// CartPole is the CartPole-v0 task: balance an inverted pendulum on a
+// cart driven left or right (Table I). Four-float observation
+// (position, velocity, angle, angular velocity); one binary action
+// decoded from a single network output (>0.5 pushes right). Reward is
+// +1 per surviving step; the episode ends when the pole tips past 12°,
+// the cart leaves ±2.4, or 200 steps elapse.
+//
+// Dynamics follow Barto, Sutton & Anderson (1983) exactly as the gym
+// implementation does (Euler integration, τ = 0.02 s).
+type CartPole struct {
+	x, xDot, theta, thetaDot float64
+	steps                    int
+	rnd                      *rng.XorWow
+	obs                      [4]float64
+}
+
+const (
+	cpGravity      = 9.8
+	cpMassCart     = 1.0
+	cpMassPole     = 0.1
+	cpTotalMass    = cpMassCart + cpMassPole
+	cpLength       = 0.5 // half the pole length
+	cpPoleMassLen  = cpMassPole * cpLength
+	cpForceMag     = 10.0
+	cpTau          = 0.02
+	cpThetaLimit   = 12 * math.Pi / 180
+	cpXLimit       = 2.4
+	cartPoleBudget = 200
+)
+
+func init() { register("cartpole", func() Env { return &CartPole{rnd: rng.New(0)} }) }
+
+// Name implements Env.
+func (c *CartPole) Name() string { return "cartpole" }
+
+// ObservationSize implements Env.
+func (c *CartPole) ObservationSize() int { return 4 }
+
+// ActionSize implements Env: one binary output per Table I.
+func (c *CartPole) ActionSize() int { return 1 }
+
+// MaxSteps implements Env.
+func (c *CartPole) MaxSteps() int { return cartPoleBudget }
+
+// Reset implements Env: state uniform in ±0.05 as in gym.
+func (c *CartPole) Reset(seed uint64) []float64 {
+	c.rnd.Seed(seed)
+	c.x = c.rnd.Range(-0.05, 0.05)
+	c.xDot = c.rnd.Range(-0.05, 0.05)
+	c.theta = c.rnd.Range(-0.05, 0.05)
+	c.thetaDot = c.rnd.Range(-0.05, 0.05)
+	c.steps = 0
+	return c.observe()
+}
+
+func (c *CartPole) observe() []float64 {
+	c.obs = [4]float64{c.x, c.xDot, c.theta, c.thetaDot}
+	return c.obs[:]
+}
+
+// Step implements Env.
+func (c *CartPole) Step(action []float64) ([]float64, float64, bool) {
+	force := -cpForceMag
+	if len(action) > 0 && action[0] > 0.5 {
+		force = cpForceMag
+	}
+	cosT, sinT := math.Cos(c.theta), math.Sin(c.theta)
+	temp := (force + cpPoleMassLen*c.thetaDot*c.thetaDot*sinT) / cpTotalMass
+	thetaAcc := (cpGravity*sinT - cosT*temp) /
+		(cpLength * (4.0/3.0 - cpMassPole*cosT*cosT/cpTotalMass))
+	xAcc := temp - cpPoleMassLen*thetaAcc*cosT/cpTotalMass
+
+	c.x += cpTau * c.xDot
+	c.xDot += cpTau * xAcc
+	c.theta += cpTau * c.thetaDot
+	c.thetaDot += cpTau * thetaAcc
+	c.steps++
+
+	done := c.x < -cpXLimit || c.x > cpXLimit ||
+		c.theta < -cpThetaLimit || c.theta > cpThetaLimit ||
+		c.steps >= cartPoleBudget
+	return c.observe(), 1, done
+}

@@ -1,0 +1,89 @@
+// Package env provides the learning environments of Table I in pure Go.
+//
+// The paper evaluates GeneSys on a suite of OpenAI gym tasks. The gym
+// ecosystem is Python; this package rebuilds the classic-control
+// environments from their published dynamics equations and substitutes
+// deterministic synthetic "RAM game" machines for the Atari titles (see
+// DESIGN.md for the substitution argument). All environments implement
+// the same Env interface the evaluation loop drives, matching the
+// state→inference→action→reward cycle of the GeneSys walkthrough
+// (steps 2–5).
+package env
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Env is one episodic learning task.
+//
+// Reset must be called before the first Step; it reseeds the
+// environment's private randomness so that population-level parallel
+// rollouts are reproducible. Step consumes the raw network output
+// vector (each environment documents how it decodes actions from it)
+// and returns the new observation, the step reward, and whether the
+// episode ended.
+type Env interface {
+	// Name is the workload identifier used throughout the experiments,
+	// e.g. "cartpole".
+	Name() string
+	// ObservationSize is the input width of the policy network.
+	ObservationSize() int
+	// ActionSize is the output width of the policy network.
+	ActionSize() int
+	// MaxSteps bounds the episode length.
+	MaxSteps() int
+	// Reset starts a new episode and returns the initial observation.
+	Reset(seed uint64) []float64
+	// Step advances one timestep on the raw policy output.
+	Step(action []float64) (obs []float64, reward float64, done bool)
+}
+
+// factories registers constructors by workload name.
+var factories = map[string]func() Env{}
+
+// register installs a constructor; called from each environment's file.
+func register(name string, f func() Env) { factories[name] = f }
+
+// New constructs the named environment.
+func New(name string) (Env, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("env: unknown environment %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists the registered environments in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for n := range factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// argmax returns the index of the largest element — the discrete-action
+// decode shared by several environments.
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	_ = xs[best]
+	return best
+}
+
+// clamp bounds v to [lo, hi].
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

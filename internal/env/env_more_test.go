@@ -1,0 +1,129 @@
+package env
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRAMTitlesDiverge: the four titles are distinct machines — same
+// seed, same actions, different trajectories and threat cells.
+func TestRAMTitlesDiverge(t *testing.T) {
+	titles := []string{"airraid-ram", "alien-ram", "asterix-ram", "amidar-ram"}
+	trajectories := map[string][]float64{}
+	for _, title := range titles {
+		e, _ := New(title)
+		e.Reset(42)
+		a := make([]float64, e.ActionSize())
+		var rewards []float64
+		for i := 0; i < 30; i++ {
+			_, r, done := e.Step(a)
+			rewards = append(rewards, r)
+			if done {
+				break
+			}
+		}
+		trajectories[title] = rewards
+	}
+	for i, a := range titles {
+		for _, b := range titles[i+1:] {
+			same := true
+			ra, rb := trajectories[a], trajectories[b]
+			for k := 0; k < len(ra) && k < len(rb); k++ {
+				if ra[k] != rb[k] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatalf("%s and %s produced identical reward streams", a, b)
+			}
+		}
+	}
+}
+
+func TestRAMNearMissPartialCredit(t *testing.T) {
+	g := newRAMGame("amidar-ram")
+	g.Reset(3)
+	want := g.correctAction()
+	near := (want + 1) % g.actions
+	a := make([]float64, g.actions)
+	a[near] = 1
+	_, r, _ := g.Step(a)
+	// Adjacent action: graded reward, no score, no life loss.
+	if near == want-1 || near == want+1 {
+		if r != 0.25 {
+			t.Fatalf("near miss reward %v, want 0.25", r)
+		}
+	}
+	if g.Lives() != 3 {
+		t.Fatal("near miss cost a life")
+	}
+}
+
+func TestBipedalFallsOnViolentPitch(t *testing.T) {
+	b := &Bipedal{rnd: newTestRNG()}
+	b.Reset(1)
+	// Constant maximal same-side torque destabilizes the pitch.
+	steps := 0
+	for i := 0; i < bwBudget; i++ {
+		_, _, done := b.Step([]float64{1, 1, 1, 1})
+		steps++
+		if done {
+			break
+		}
+	}
+	if !b.fallen {
+		t.Fatalf("violent torque never toppled the hull in %d steps", steps)
+	}
+}
+
+func TestAcrobotAngleWrap(t *testing.T) {
+	if w := wrapAngle(3 * math.Pi); math.Abs(w-math.Pi) > 1e-9 && math.Abs(w+math.Pi) > 1e-9 {
+		t.Fatalf("wrap(3π) = %v", w)
+	}
+	if w := wrapAngle(-3 * math.Pi); w < -math.Pi || w > math.Pi {
+		t.Fatalf("wrap(-3π) = %v", w)
+	}
+	if w := wrapAngle(0.5); w != 0.5 {
+		t.Fatalf("wrap(0.5) = %v", w)
+	}
+}
+
+func TestMarioObstacleKinds(t *testing.T) {
+	m := &Mario{rnd: newTestRNG()}
+	m.Reset(7)
+	kinds := map[int]bool{}
+	for _, o := range m.level {
+		kinds[o.kind] = true
+		if o.kind < 0 || o.kind > 2 {
+			t.Fatalf("unknown obstacle kind %d", o.kind)
+		}
+	}
+	if len(kinds) < 2 {
+		t.Fatalf("level too uniform: kinds %v", kinds)
+	}
+}
+
+func BenchmarkCartPoleStep(b *testing.B) {
+	e, _ := New("cartpole")
+	e.Reset(1)
+	a := []float64{1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, done := e.Step(a); done {
+			e.Reset(uint64(i))
+		}
+	}
+}
+
+func BenchmarkRAMGameStep(b *testing.B) {
+	e, _ := New("alien-ram")
+	e.Reset(1)
+	a := make([]float64, e.ActionSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, done := e.Step(a); done {
+			e.Reset(uint64(i))
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package env
+
+import "repro/internal/rng"
+
+// Mario is a side-scrolling platformer surrogate used to reproduce the
+// paper's motivating Fig. 2 ("evolving NNs to play Mario"). The agent
+// runs rightward past pits and blocks; the observation is a compact
+// 6-float sensor view (distances/heights of the next two obstacles,
+// vertical state), and the three outputs select run / jump / squat.
+// Fitness is distance covered, normalized by the level length, so the
+// max/average fitness curves of Fig. 2 fall out directly.
+type Mario struct {
+	pos      float64 // horizontal progress
+	vy       float64
+	height   float64 // 0 = ground
+	squat    bool
+	steps    int
+	level    []obstacle
+	levelLen float64
+	dead     bool
+	rnd      *rng.XorWow
+	obs      [6]float64
+}
+
+type obstacle struct {
+	at   float64
+	kind int // 0 pit (jump over), 1 low bar (squat under), 2 block (jump)
+}
+
+const (
+	marioBudget  = 500
+	marioSpeed   = 0.5
+	marioGravity = 0.6
+	marioJumpV   = 2.4
+	marioLevel   = 120.0
+)
+
+func init() { register("mario", func() Env { return &Mario{rnd: rng.New(0)} }) }
+
+// Name implements Env.
+func (m *Mario) Name() string { return "mario" }
+
+// ObservationSize implements Env.
+func (m *Mario) ObservationSize() int { return 6 }
+
+// ActionSize implements Env: run / jump / squat.
+func (m *Mario) ActionSize() int { return 3 }
+
+// MaxSteps implements Env.
+func (m *Mario) MaxSteps() int { return marioBudget }
+
+// Reset implements Env: lays out a deterministic obstacle course for
+// the seed.
+func (m *Mario) Reset(seed uint64) []float64 {
+	m.rnd.Seed(seed)
+	m.pos, m.vy, m.height = 0, 0, 0
+	m.squat, m.dead = false, false
+	m.steps = 0
+	m.level = m.level[:0]
+	at := 6.0
+	for at < marioLevel {
+		m.level = append(m.level, obstacle{at: at, kind: m.rnd.Intn(3)})
+		at += 4 + m.rnd.Range(0, 6)
+	}
+	m.levelLen = marioLevel
+	return m.observe()
+}
+
+// nextObstacles returns the two nearest obstacles ahead.
+func (m *Mario) nextObstacles() (a, b obstacle) {
+	a, b = obstacle{at: m.levelLen + 10}, obstacle{at: m.levelLen + 20}
+	found := 0
+	for _, o := range m.level {
+		if o.at >= m.pos-0.5 {
+			if found == 0 {
+				a = o
+				found++
+			} else {
+				b = o
+				break
+			}
+		}
+	}
+	return a, b
+}
+
+func (m *Mario) observe() []float64 {
+	a, b := m.nextObstacles()
+	sq := 0.0
+	if m.squat {
+		sq = 1
+	}
+	m.obs = [6]float64{
+		clamp((a.at-m.pos)/10, 0, 1), float64(a.kind) / 2,
+		clamp((b.at-m.pos)/10, 0, 1), float64(b.kind) / 2,
+		m.height / 3, sq,
+	}
+	return m.obs[:]
+}
+
+// Step implements Env.
+func (m *Mario) Step(action []float64) ([]float64, float64, bool) {
+	if m.dead {
+		return m.observe(), 0, true
+	}
+	a := argmax(action) // 0 run, 1 jump, 2 squat
+	m.squat = a == 2 && m.height == 0
+	if a == 1 && m.height == 0 {
+		m.vy = marioJumpV
+	}
+	m.vy -= marioGravity
+	m.height += m.vy * 0.3
+	if m.height <= 0 {
+		m.height, m.vy = 0, 0
+	}
+	prev := m.pos
+	m.pos += marioSpeed
+	m.steps++
+
+	// Collision with any obstacle crossed this step.
+	for _, o := range m.level {
+		if o.at > prev && o.at <= m.pos {
+			switch o.kind {
+			case 0, 2: // pit / block: must be airborne
+				if m.height < 0.5 {
+					m.dead = true
+				}
+			case 1: // low bar: must squat (and be grounded)
+				if !m.squat || m.height > 0.2 {
+					m.dead = true
+				}
+			}
+		}
+	}
+	reward := (m.pos - prev) / m.levelLen
+	if m.dead {
+		reward = 0
+	}
+	done := m.dead || m.pos >= m.levelLen || m.steps >= marioBudget
+	return m.observe(), reward, done
+}
+
+// Progress returns the normalized distance covered in [0, 1].
+func (m *Mario) Progress() float64 { return clamp(m.pos/m.levelLen, 0, 1) }

@@ -1,0 +1,202 @@
+// Package es implements OpenAI Evolution Strategies (Salimans et al.
+// 2017) — the paper's reference [3] and its stated evidence that
+// evolutionary methods cut compute by two-thirds versus
+// backpropagation and scale without gradient communication.
+//
+// ES is the other pole of the EA design space GeneSys targets: where
+// NEAT perturbs structure and weights of a growing genome, ES perturbs
+// a fixed-topology parameter vector with Gaussian noise and ascends the
+// fitness gradient estimate
+//
+//	θ ← θ + α · (1/nσ) Σᵢ Fᵢ εᵢ
+//
+// using antithetic sampling and rank normalization. Like NEAT — and
+// unlike backpropagation — it needs only forward passes, which is the
+// Table II compute argument in executable form.
+package es
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dnn"
+	"repro/internal/env"
+	"repro/internal/rng"
+)
+
+// Config tunes the strategy.
+type Config struct {
+	Hidden []int // policy network hidden layers
+	// PopulationSize is the number of perturbation pairs per update
+	// (2× episodes are run, antithetic).
+	PopulationSize int
+	// Sigma is the perturbation standard deviation.
+	Sigma float64
+	// LR is the update step size.
+	LR float64
+	// Episodes per fitness evaluation.
+	Episodes int
+}
+
+// DefaultConfig follows the small-control-task settings of [3].
+func DefaultConfig() Config {
+	return Config{
+		Hidden:         []int{16},
+		PopulationSize: 25,
+		Sigma:          0.1,
+		LR:             0.05,
+		Episodes:       1,
+	}
+}
+
+// Strategy is an ES learner bound to one environment.
+type Strategy struct {
+	cfg    Config
+	env    env.Env
+	policy *dnn.MLP
+	theta  []float64
+	rnd    *rng.XorWow
+	// ForwardMACs counts all policy evaluations; ES performs zero
+	// gradient ops by construction.
+	ForwardMACs int64
+	gen         int
+}
+
+// New builds a strategy for the named environment.
+func New(envName string, cfg Config, seed uint64) (*Strategy, error) {
+	e, err := env.New(envName)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(seed)
+	sizes := append([]int{e.ObservationSize()}, cfg.Hidden...)
+	sizes = append(sizes, e.ActionSize())
+	policy, err := dnn.NewMLP(r, sizes...)
+	if err != nil {
+		return nil, err
+	}
+	return &Strategy{
+		cfg: cfg, env: e, policy: policy,
+		theta: policy.FlatParams(), rnd: r,
+	}, nil
+}
+
+// NumParams returns the dimension of the search space.
+func (s *Strategy) NumParams() int { return len(s.theta) }
+
+// evaluate runs the policy with the given parameters.
+func (s *Strategy) evaluate(params []float64) (float64, error) {
+	if err := s.policy.SetFlatParams(params); err != nil {
+		return 0, err
+	}
+	var total float64
+	for ep := 0; ep < s.cfg.Episodes; ep++ {
+		obs := s.env.Reset(uint64(s.gen)<<16 | uint64(ep))
+		for {
+			act, err := s.policy.Forward(obs)
+			if err != nil {
+				return 0, err
+			}
+			var r float64
+			var done bool
+			obs, r, done = s.env.Step(act)
+			total += r
+			if done {
+				break
+			}
+		}
+	}
+	return total / float64(s.cfg.Episodes), nil
+}
+
+// Step runs one ES generation: sample antithetic perturbation pairs,
+// evaluate, rank-normalize, and update θ. It returns the unperturbed
+// policy's fitness after the update.
+func (s *Strategy) Step() (float64, error) {
+	n := s.cfg.PopulationSize
+	dim := len(s.theta)
+	eps := make([][]float64, n)
+	scores := make([]float64, 2*n)
+	trial := make([]float64, dim)
+
+	for i := 0; i < n; i++ {
+		eps[i] = make([]float64, dim)
+		for d := range eps[i] {
+			eps[i][d] = s.rnd.NormFloat64()
+		}
+		for sign, slot := range []int{2 * i, 2*i + 1} {
+			mul := 1.0
+			if sign == 1 {
+				mul = -1
+			}
+			for d := range trial {
+				trial[d] = s.theta[d] + mul*s.cfg.Sigma*eps[i][d]
+			}
+			f, err := s.evaluate(trial)
+			if err != nil {
+				return 0, err
+			}
+			scores[slot] = f
+		}
+	}
+
+	// Rank normalization: scores → centered ranks in [-0.5, 0.5].
+	ranks := rankNormalize(scores)
+	grad := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		w := ranks[2*i] - ranks[2*i+1] // antithetic pair difference
+		for d := range grad {
+			grad[d] += w * eps[i][d]
+		}
+	}
+	scale := s.cfg.LR / (float64(2*n) * s.cfg.Sigma)
+	for d := range s.theta {
+		s.theta[d] += scale * grad[d]
+	}
+	s.gen++
+	s.ForwardMACs = s.policy.ForwardMACs
+
+	return s.evaluate(s.theta)
+}
+
+// Run executes generations until the target fitness or the budget is
+// reached, returning the per-generation fitness trajectory.
+func (s *Strategy) Run(generations int, target float64) ([]float64, bool, error) {
+	var hist []float64
+	for g := 0; g < generations; g++ {
+		f, err := s.Step()
+		if err != nil {
+			return hist, false, err
+		}
+		hist = append(hist, f)
+		if f >= target {
+			return hist, true, nil
+		}
+	}
+	return hist, false, nil
+}
+
+// rankNormalize maps scores to centered ranks in [-0.5, 0.5]; ties
+// keep input order (stable enough for fitness shaping).
+func rankNormalize(scores []float64) []float64 {
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	out := make([]float64, n)
+	if n == 1 {
+		return out
+	}
+	for rank, i := range idx {
+		out[i] = float64(rank)/float64(n-1) - 0.5
+	}
+	return out
+}
+
+// String describes the strategy.
+func (s *Strategy) String() string {
+	return fmt.Sprintf("es(%s dim=%d pop=%d sigma=%g)",
+		s.env.Name(), len(s.theta), s.cfg.PopulationSize, s.cfg.Sigma)
+}

@@ -1,0 +1,146 @@
+package es
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRankNormalize(t *testing.T) {
+	r := rankNormalize([]float64{10, 30, 20})
+	if r[0] != -0.5 || r[1] != 0.5 || r[2] != 0 {
+		t.Fatalf("ranks %v", r)
+	}
+	if got := rankNormalize([]float64{7}); got[0] != 0 {
+		t.Fatalf("singleton rank %v", got)
+	}
+	var sum float64
+	for _, v := range rankNormalize([]float64{5, 1, 9, 2, 8}) {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Fatalf("ranks not centered: sum %v", sum)
+	}
+}
+
+func TestNewValidatesEnv(t *testing.T) {
+	if _, err := New("tetris", DefaultConfig(), 1); err == nil {
+		t.Fatal("unknown env accepted")
+	}
+	s, err := New("cartpole", DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 → 16 → 1 network: 4·16+16 + 16·1+1 = 97 parameters.
+	if s.NumParams() != 97 {
+		t.Fatalf("params %d", s.NumParams())
+	}
+}
+
+func TestESImprovesCartPole(t *testing.T) {
+	cfg := DefaultConfig()
+	s, err := New("cartpole", cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.evaluate(s.theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, solved, err := s.Run(30, 195)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := first
+	for _, f := range hist {
+		if f > best {
+			best = f
+		}
+	}
+	if !solved && best <= first {
+		t.Fatalf("ES made no progress: first %v best %v", first, best)
+	}
+	t.Logf("es cartpole: first=%v best=%v solved=%v gens=%d", first, best, solved, len(hist))
+}
+
+// TestESNeedsNoGradients pins the paper's compute argument: ES runs on
+// forward passes alone.
+func TestESNeedsNoGradients(t *testing.T) {
+	s, err := New("mountaincar", DefaultConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if s.ForwardMACs <= 0 {
+		t.Fatal("no forward work counted")
+	}
+	if s.policy.GradOps != 0 {
+		t.Fatalf("ES performed %d gradient ops", s.policy.GradOps)
+	}
+}
+
+func TestAntitheticSamplingIsBalanced(t *testing.T) {
+	// With a fitness function linear in one parameter, the antithetic
+	// estimate must move that parameter in the right direction.
+	s, err := New("cartpole", Config{
+		Hidden: []int{2}, PopulationSize: 8, Sigma: 0.05, LR: 0.1, Episodes: 1,
+	}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), s.theta...)
+	if _, err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for d := range before {
+		if s.theta[d] != before[d] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("update step did not move parameters")
+	}
+}
+
+func TestDeterministicES(t *testing.T) {
+	run := func() float64 {
+		s, err := New("cartpole", DefaultConfig(), 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestFlatParamsRoundTrip(t *testing.T) {
+	s, _ := New("cartpole", DefaultConfig(), 2)
+	p := s.policy.FlatParams()
+	r := rng.New(4)
+	for i := range p {
+		p[i] = r.Range(-1, 1)
+	}
+	if err := s.policy.SetFlatParams(p); err != nil {
+		t.Fatal(err)
+	}
+	back := s.policy.FlatParams()
+	for i := range p {
+		if back[i] != p[i] {
+			t.Fatalf("param %d: %v vs %v", i, back[i], p[i])
+		}
+	}
+	if err := s.policy.SetFlatParams(p[:10]); err == nil {
+		t.Fatal("short vector accepted")
+	}
+}

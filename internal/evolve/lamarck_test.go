@@ -1,0 +1,107 @@
+package evolve
+
+import (
+	"testing"
+
+	"repro/internal/gene"
+	"repro/internal/neat"
+)
+
+func TestRefineNeverRegresses(t *testing.T) {
+	cfg := neat.DefaultConfig(1, 1)
+	cfg.PopulationSize = 30
+	r, err := NewRunner("mountaincar", cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Step(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RefineBest(25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 25 {
+		t.Fatalf("trials %d", res.Trials)
+	}
+	if res.FitnessEnd < res.FitnessStart {
+		t.Fatalf("refinement regressed: %v -> %v", res.FitnessStart, res.FitnessEnd)
+	}
+	if res.Accepted > 0 && res.FitnessEnd == res.FitnessStart {
+		t.Fatal("accepted trials without fitness change")
+	}
+	t.Logf("refine mountaincar: %v -> %v (%d/%d accepted)",
+		res.FitnessStart, res.FitnessEnd, res.Accepted, res.Trials)
+}
+
+func TestRefineKeepsWeightsInHardwareRange(t *testing.T) {
+	cfg := neat.DefaultConfig(1, 1)
+	cfg.PopulationSize = 20
+	r, err := NewRunner("cartpole", cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RefineBest(50, 2); err != nil {
+		t.Fatal(err)
+	}
+	best := r.Pop.Best()
+	for _, c := range best.Conns {
+		if c.Weight >= gene.AttrLimit || c.Weight < -gene.AttrLimit {
+			t.Fatalf("refined weight %v outside hardware range", c.Weight)
+		}
+	}
+	if err := best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineOnEmptyPopulation(t *testing.T) {
+	r := &Runner{}
+	res, err := r.RefineBest(10, 1)
+	if err != nil || res.Trials != 0 {
+		t.Fatalf("empty population mishandled: %+v %v", res, err)
+	}
+}
+
+// TestLamarckianHybridHelpsHardTask: with the same total budget, a few
+// refinement trials on the elite should not hurt — and typically
+// accelerate — progress on the sparse mountaincar task.
+func TestLamarckianHybridHelpsHardTask(t *testing.T) {
+	run := func(refine bool) float64 {
+		cfg := neat.DefaultConfig(1, 1)
+		cfg.PopulationSize = 40
+		r, err := NewRunner("mountaincar", cfg, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := 0.0
+		for g := 0; g < 6; g++ {
+			st, err := r.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.MaxFitness > best {
+				best = st.MaxFitness
+			}
+			if refine {
+				res, err := r.RefineBest(10, uint64(g))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.FitnessEnd > best {
+					best = res.FitnessEnd
+				}
+			}
+		}
+		return best
+	}
+	plain := run(false)
+	hybrid := run(true)
+	if hybrid < plain {
+		t.Fatalf("hybrid (%v) worse than plain evolution (%v)", hybrid, plain)
+	}
+	t.Logf("mountaincar best after 6 gens: plain %v, lamarckian %v", plain, hybrid)
+}

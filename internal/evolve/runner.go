@@ -1,0 +1,265 @@
+package evolve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/env"
+	"repro/internal/gene"
+	"repro/internal/neat"
+	"repro/internal/network"
+)
+
+// GenStats is the per-generation characterization record: everything
+// Section III plots, plus the inference-work totals the platform and
+// hardware models charge for.
+type GenStats struct {
+	Generation int
+
+	// Fitness metrics (raw and Fig. 4a-normalized).
+	MaxFitness  float64
+	MeanFitness float64
+	NormMax     float64
+	NormMean    float64
+	Solved      bool
+
+	// Population structure (Fig. 4b, Fig. 11a, Fig. 5b).
+	TotalGenes     int
+	NodeGenes      int
+	ConnGenes      int
+	FootprintBytes int
+	NumSpecies     int
+
+	// Reproduction characterization (Fig. 5a, Fig. 4c).
+	CrossoverOps       int64
+	MutationOps        int64
+	FittestParentReuse int
+	MaxParentReuse     int
+
+	// Inference work of the evaluation phase: environment steps summed
+	// over the population, and the MAC count those steps performed
+	// (edges × steps per genome), the quantities Fig. 9a/9b charge.
+	EnvSteps      int64
+	InferenceMACs int64
+	// VertexUpdates is the number of node evaluations performed.
+	VertexUpdates int64
+}
+
+// Runner evolves one workload, recording per-generation statistics and
+// (optionally) a reproduction trace.
+type Runner struct {
+	Workload Workload
+	Pop      *neat.Population
+	// History accumulates one GenStats per evaluated generation.
+	History []GenStats
+	// Parallelism caps the evaluation worker pool (population-level
+	// parallelism); 0 means GOMAXPROCS.
+	Parallelism int
+
+	opCounts neat.OpCounts
+	seed     uint64
+	extraRec neat.Recorder
+}
+
+// NewRunner builds a population configured for the workload's
+// environment dimensions and wires up the op-count recorder.
+func NewRunner(workloadName string, cfg neat.Config, seed uint64) (*Runner, error) {
+	w, err := WorkloadByName(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := env.New(w.EnvName)
+	if err != nil {
+		return nil, err
+	}
+	cfg.NumInputs = probe.ObservationSize()
+	cfg.NumOutputs = probe.ActionSize()
+	pop, err := neat.NewPopulation(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{Workload: w, Pop: pop, seed: seed}
+	pop.SetRecorder(&r.opCounts)
+	return r, nil
+}
+
+// SetRecorder attaches an additional reproduction recorder (e.g. a
+// hardware trace) alongside the internal op counter.
+func (r *Runner) SetRecorder(rec neat.Recorder) {
+	r.extraRec = rec
+	r.Pop.SetRecorder(neat.MultiRecorder(&r.opCounts, rec))
+}
+
+// evalResult carries one genome's evaluation back from a worker.
+type evalResult struct {
+	idx     int
+	fitness float64
+	steps   int64
+	macs    int64
+	updates int64
+	err     error
+}
+
+// EvaluateGeneration scores every genome in the current population
+// (steps 1–6 of the walkthrough), exploiting population-level
+// parallelism with a worker pool. It returns aggregate inference work.
+func (r *Runner) EvaluateGeneration() (envSteps, macs, updates int64, err error) {
+	genomes := r.Pop.Genomes
+	workers := r.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(genomes) {
+		workers = len(genomes)
+	}
+
+	jobs := make(chan int)
+	results := make(chan evalResult, len(genomes))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, eerr := env.New(r.Workload.EnvName)
+			if eerr != nil {
+				for idx := range jobs {
+					results <- evalResult{idx: idx, err: eerr}
+				}
+				return
+			}
+			shaper := r.Workload.NewShaper()
+			for idx := range jobs {
+				res := r.evaluateGenome(e, shaper, genomes[idx])
+				res.idx = idx
+				results <- res
+			}
+		}()
+	}
+	for i := range genomes {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	close(results)
+
+	for res := range results {
+		if res.err != nil {
+			return 0, 0, 0, res.err
+		}
+		genomes[res.idx].Fitness = res.fitness
+		envSteps += res.steps
+		macs += res.macs
+		updates += res.updates
+	}
+	return envSteps, macs, updates, nil
+}
+
+// evaluateGenome runs the workload's episodes for one genome.
+func (r *Runner) evaluateGenome(e env.Env, shaper Shaper, g *gene.Genome) evalResult {
+	net, err := network.New(g)
+	if err != nil {
+		return evalResult{err: fmt.Errorf("genome %d: %w", g.ID, err)}
+	}
+	var res evalResult
+	var total float64
+	episodes := r.Workload.Episodes
+	if episodes < 1 {
+		episodes = 1
+	}
+	for ep := 0; ep < episodes; ep++ {
+		// Deterministic per-(generation, genome, episode) seed.
+		seed := r.seed ^ uint64(r.Pop.Generation)<<40 ^ uint64(g.ID)<<8 ^ uint64(ep)
+		obs := e.Reset(seed)
+		shaper.Reset()
+		steps := 0
+		for {
+			action, ferr := net.Feed(obs)
+			if ferr != nil {
+				return evalResult{err: fmt.Errorf("genome %d: %w", g.ID, ferr)}
+			}
+			var reward float64
+			var done bool
+			obs, reward, done = e.Step(action)
+			shaper.Observe(obs, reward)
+			steps++
+			res.steps++
+			res.macs += int64(net.NumEdges())
+			res.updates += int64(net.NumVertices() - net.NumInputs())
+			if done {
+				break
+			}
+		}
+		total += shaper.Fitness(e, steps)
+	}
+	res.fitness = total / float64(episodes)
+	return res
+}
+
+// Step evaluates the current generation and, unless it solved the task,
+// reproduces the next one. It appends and returns the generation's
+// stats.
+func (r *Runner) Step() (GenStats, error) {
+	w := r.Workload
+	envSteps, macs, updates, err := r.EvaluateGeneration()
+	if err != nil {
+		return GenStats{}, err
+	}
+
+	best := r.Pop.Best()
+	nodes, conns := r.Pop.GeneComposition()
+	st := GenStats{
+		Generation:     r.Pop.Generation,
+		MaxFitness:     best.Fitness,
+		MeanFitness:    r.Pop.MeanFitness(),
+		TotalGenes:     r.Pop.TotalGenes(),
+		NodeGenes:      nodes,
+		ConnGenes:      conns,
+		FootprintBytes: r.Pop.FootprintBytes(),
+		EnvSteps:       envSteps,
+		InferenceMACs:  macs,
+		VertexUpdates:  updates,
+	}
+	st.NormMax = w.Normalize(st.MaxFitness)
+	st.NormMean = w.Normalize(st.MeanFitness)
+	st.Solved = st.MaxFitness >= w.Target
+
+	if !st.Solved {
+		r.opCounts.Reset()
+		repro, err := r.Pop.Epoch()
+		if err != nil {
+			return GenStats{}, err
+		}
+		st.NumSpecies = repro.NumSpecies
+		st.CrossoverOps = r.opCounts.Crossovers()
+		st.MutationOps = r.opCounts.Mutations()
+		st.FittestParentReuse = repro.FittestParentReuse
+		st.MaxParentReuse = repro.MaxParentReuse
+	}
+
+	r.History = append(r.History, st)
+	return st, nil
+}
+
+// Run executes up to maxGenerations steps, stopping early when the
+// target fitness is reached. It reports whether the task was solved.
+func (r *Runner) Run(maxGenerations int) (bool, error) {
+	for g := 0; g < maxGenerations; g++ {
+		st, err := r.Step()
+		if err != nil {
+			return false, err
+		}
+		if st.Solved {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Last returns the most recent generation stats (zero value if none).
+func (r *Runner) Last() GenStats {
+	if len(r.History) == 0 {
+		return GenStats{}
+	}
+	return r.History[len(r.History)-1]
+}

@@ -1,0 +1,133 @@
+package evolve
+
+import (
+	"sync"
+
+	"repro/internal/neat"
+	"repro/internal/stats"
+)
+
+// Study runs N independent evolution runs of one workload in parallel —
+// the paper's characterization methodology ("across 100 separate runs
+// of each application") — and aggregates convergence statistics.
+
+// StudyResult is one run's outcome.
+type StudyResult struct {
+	Run     int
+	Solved  bool
+	History []GenStats
+	Err     error
+}
+
+// Study aggregates a batch of runs.
+type Study struct {
+	Workload string
+	Results  []StudyResult
+}
+
+// RunStudy executes runs independent evolutions with seeds seed+run,
+// each up to maxGenerations. Runs execute concurrently (each already
+// parallelizes its own evaluation, so per-run workers are capped).
+func RunStudy(workload string, cfg neat.Config, runs, maxGenerations int, seed uint64) (*Study, error) {
+	st := &Study{Workload: workload, Results: make([]StudyResult, runs)}
+	var wg sync.WaitGroup
+	for run := 0; run < runs; run++ {
+		wg.Add(1)
+		go func(run int) {
+			defer wg.Done()
+			res := StudyResult{Run: run}
+			r, err := NewRunner(workload, cfg, seed+uint64(run)*7919)
+			if err != nil {
+				res.Err = err
+				st.Results[run] = res
+				return
+			}
+			r.Parallelism = 2 // the study itself provides the outer parallelism
+			res.Solved, res.Err = r.Run(maxGenerations)
+			res.History = r.History
+			st.Results[run] = res
+		}(run)
+	}
+	wg.Wait()
+	for _, res := range st.Results {
+		if res.Err != nil {
+			return st, res.Err
+		}
+	}
+	return st, nil
+}
+
+// SolveRate is the fraction of runs that reached the target.
+func (s *Study) SolveRate() float64 {
+	if len(s.Results) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range s.Results {
+		if r.Solved {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.Results))
+}
+
+// GenerationsToSolve summarizes the convergence-generation distribution
+// over solved runs — the run-to-run variance observation of Fig. 4(a)
+// ("the target fitness could be realized as early as generation 8 to
+// as late as generation 160").
+func (s *Study) GenerationsToSolve() stats.Summary {
+	var gens []float64
+	for _, r := range s.Results {
+		if r.Solved {
+			gens = append(gens, float64(len(r.History)))
+		}
+	}
+	return stats.Summarize(gens)
+}
+
+// OpsPerGeneration pools the reproduction-op counts of every
+// generation of every run (the Fig. 5a sample).
+func (s *Study) OpsPerGeneration() []float64 {
+	var out []float64
+	for _, r := range s.Results {
+		for _, g := range r.History {
+			if g.Solved {
+				continue
+			}
+			out = append(out, float64(g.CrossoverOps+g.MutationOps))
+		}
+	}
+	return out
+}
+
+// FootprintsPerGeneration pools the footprint samples (Fig. 5b).
+func (s *Study) FootprintsPerGeneration() []float64 {
+	var out []float64
+	for _, r := range s.Results {
+		for _, g := range r.History {
+			out = append(out, float64(g.FootprintBytes))
+		}
+	}
+	return out
+}
+
+// MeanNormMaxByGeneration averages the normalized best fitness across
+// runs per generation index (shorter runs stop contributing when they
+// end) — the mean curve of Fig. 4a.
+func (s *Study) MeanNormMaxByGeneration() []float64 {
+	var out []float64
+	for g := 0; ; g++ {
+		var sum float64
+		n := 0
+		for _, r := range s.Results {
+			if g < len(r.History) {
+				sum += r.History[g].NormMax
+				n++
+			}
+		}
+		if n == 0 {
+			return out
+		}
+		out = append(out, sum/float64(n))
+	}
+}

@@ -1,0 +1,279 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section III and Section VI). Each generator runs real
+// evolution through the real environments, replays the resulting traces
+// through the hardware models, prices the same work on the CPU/GPU
+// baseline models, and emits the rows/series the paper plots.
+//
+// Absolute values are model outputs, not silicon measurements; the
+// claims being reproduced are the shapes — who wins, by roughly what
+// factor, and where the crossovers fall. EXPERIMENTS.md records the
+// paper-vs-measured comparison for every experiment.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/env"
+	"repro/internal/evolve"
+	"repro/internal/gene"
+	"repro/internal/neat"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// Options tune experiment fidelity. Zero values select the defaults.
+type Options struct {
+	// Seed is the base RNG seed; runs r of a workload use Seed+r.
+	Seed uint64
+	// Runs per workload for the distribution/variance figures.
+	Runs int
+	// MaxGenerations bounds each evolution run.
+	MaxGenerations int
+	// Population overrides the NEAT population (paper: 150). The
+	// default trades fidelity for tractable CI runs; pass 150 for
+	// paper-scale characterization.
+	Population int
+	// RAMPopulation is the population for the 128-input RAM workloads
+	// (heavier per genome).
+	RAMPopulation int
+	// RAMGenerations bounds RAM-workload runs separately.
+	RAMGenerations int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Runs == 0 {
+		o.Runs = 3
+	}
+	if o.MaxGenerations == 0 {
+		o.MaxGenerations = 30
+	}
+	if o.Population == 0 {
+		o.Population = 64
+	}
+	if o.RAMPopulation == 0 {
+		o.RAMPopulation = 32
+	}
+	if o.RAMGenerations == 0 {
+		o.RAMGenerations = 6
+	}
+	return o
+}
+
+// Table is one rendered block of an experiment's output.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+	// Raw is pre-rendered text (e.g. an ASCII chart) printed after the
+	// rows.
+	Raw string
+}
+
+// Result is a regenerated experiment: human-readable tables plus the
+// raw named series tests assert against.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []Table
+	Series map[string][]float64
+}
+
+// series stores a named raw series.
+func (r *Result) series(name string, xs ...float64) {
+	if r.Series == nil {
+		r.Series = map[string][]float64{}
+	}
+	r.Series[name] = append(r.Series[name], xs...)
+}
+
+// Render writes the result in the fixed-width text form the CLI prints.
+func (r *Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	for _, t := range r.Tables {
+		if t.Title != "" {
+			fmt.Fprintf(w, "\n-- %s --\n", t.Title)
+		}
+		widths := make([]int, len(t.Header))
+		for i, h := range t.Header {
+			widths[i] = len(h)
+		}
+		for _, row := range t.Rows {
+			for i, c := range row {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		line := func(cells []string) {
+			parts := make([]string, len(cells))
+			for i, c := range cells {
+				if i < len(widths) {
+					parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+				} else {
+					parts[i] = c
+				}
+			}
+			fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		}
+		line(t.Header)
+		for _, row := range t.Rows {
+			line(row)
+		}
+		if t.Raw != "" {
+			fmt.Fprint(w, t.Raw)
+		}
+		for _, n := range t.Notes {
+			fmt.Fprintf(w, "note: %s\n", n)
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Generator regenerates one experiment.
+type Generator func(Options) (*Result, error)
+
+// registry maps experiment ids to generators; populated by init
+// functions in the per-area files.
+var registry = map[string]Generator{}
+
+func register(id string, g Generator) { registry[id] = g }
+
+// IDs lists the registered experiment ids in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run regenerates the named experiment.
+func Run(id string, opt Options) (*Result, error) {
+	g, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return g(opt.withDefaults())
+}
+
+// --- shared run helpers ---
+
+// isRAM reports whether the workload is one of the 128-byte RAM titles.
+func isRAM(workload string) bool { return strings.HasSuffix(workload, "-ram") }
+
+// popFor picks the population size for a workload.
+func (o Options) popFor(workload string) int {
+	if isRAM(workload) {
+		return o.RAMPopulation
+	}
+	return o.Population
+}
+
+// gensFor picks the generation budget for a workload.
+func (o Options) gensFor(workload string) int {
+	if isRAM(workload) {
+		return o.RAMGenerations
+	}
+	return o.MaxGenerations
+}
+
+// evolved is one completed evolution run with its trace.
+type evolved struct {
+	runner *evolve.Runner
+	trace  *trace.Trace
+	solved bool
+}
+
+// runWorkload evolves one workload with a trace recorder attached.
+func runWorkload(workload string, opt Options, run int) (*evolved, error) {
+	cfg := neat.DefaultConfig(1, 1)
+	cfg.PopulationSize = opt.popFor(workload)
+	r, err := evolve.NewRunner(workload, cfg, opt.Seed+uint64(run)*7919)
+	if err != nil {
+		return nil, err
+	}
+	tr := &trace.Trace{}
+	r.SetRecorder(tr)
+	solved, err := r.Run(opt.gensFor(workload))
+	if err != nil {
+		return nil, err
+	}
+	return &evolved{runner: r, trace: tr, solved: solved}, nil
+}
+
+// genWorkload extracts the platform charge model's view of one
+// generation from a run.
+func genWorkload(e *evolved, st evolve.GenStats) (platform.GenWorkload, error) {
+	probe, err := env.New(e.runner.Workload.EnvName)
+	if err != nil {
+		return platform.GenWorkload{}, err
+	}
+	w := platform.GenWorkload{
+		Population:    len(e.runner.Pop.Genomes),
+		GeneOps:       st.CrossoverOps + st.MutationOps,
+		TotalGenes:    st.TotalGenes,
+		EnvSteps:      st.EnvSteps,
+		MaxSteps:      probe.MaxSteps(),
+		InferenceMACs: st.InferenceMACs,
+		VertexUpdates: st.VertexUpdates,
+		ObsSize:       probe.ObservationSize(),
+		ActSize:       probe.ActionSize(),
+	}
+	var sumNodes, maxNodes int
+	var maxID int32
+	for _, g := range e.runner.Pop.Genomes {
+		n := len(g.Nodes)
+		sumNodes += n
+		if n > maxNodes {
+			maxNodes = n
+		}
+		if id := g.MaxNodeIDIn(); id > maxID {
+			maxID = id
+		}
+	}
+	if p := w.Population; p > 0 {
+		w.MeanNodes = sumNodes / p
+	}
+	w.MaxNodes = maxNodes
+	w.MaxNodeID = int(maxID) + 1
+	return w, nil
+}
+
+// maxNodeIDOf returns the population's largest node id plus one.
+func maxNodeIDOf(genomes []*gene.Genome) int {
+	var maxID int32
+	for _, g := range genomes {
+		if id := g.MaxNodeIDIn(); id > maxID {
+			maxID = id
+		}
+	}
+	return int(maxID) + 1
+}
+
+// fnum formats a float compactly for table cells.
+func fnum(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e6 || v < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// inum formats an integer cell.
+func inum[T int | int64](v T) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,209 @@
+// Package gene implements the 64-bit gene encoding used by the GeneSys
+// hardware (Fig. 6 of the paper).
+//
+// NEAT builds genomes from two gene kinds: node genes (vertices of the
+// neural-network graph) and connection genes (edges). The paper packs
+// both into a single 64-bit word so that one gene streams through an EvE
+// processing element per cycle. Node genes carry four attributes —
+// bias, response, activation and aggregation — plus a 2-bit node type
+// (hidden / input / output). Connection genes carry source and
+// destination node ids, a weight, and an enabled flag.
+//
+// This package defines the in-memory Gene struct the algorithm
+// manipulates, the exact bit-level packing the hardware models stream,
+// and the quantization used to fit real-valued attributes into the word.
+package gene
+
+import "fmt"
+
+// Kind discriminates node genes from connection genes.
+type Kind uint8
+
+const (
+	// KindNode marks a gene describing a network vertex (neuron).
+	KindNode Kind = iota
+	// KindConn marks a gene describing a network edge (synapse).
+	KindConn
+)
+
+// String returns "node" or "conn".
+func (k Kind) String() string {
+	if k == KindNode {
+		return "node"
+	}
+	return "conn"
+}
+
+// NodeType is the 2-bit role field of a node gene (Fig. 6: 00 hidden,
+// 01 input, 10 output).
+type NodeType uint8
+
+const (
+	// Hidden is an evolved interior neuron.
+	Hidden NodeType = 0
+	// Input is a sensor node fed from the environment observation.
+	Input NodeType = 1
+	// Output is an actuator node read out as the action.
+	Output NodeType = 2
+)
+
+// String names the node type.
+func (t NodeType) String() string {
+	switch t {
+	case Hidden:
+		return "hidden"
+	case Input:
+		return "input"
+	case Output:
+		return "output"
+	default:
+		return fmt.Sprintf("NodeType(%d)", uint8(t))
+	}
+}
+
+// Activation enumerates the activation functions a node gene can select.
+// The 4-bit field allows 16; we implement the set neat-python ships that
+// the paper's characterization used.
+type Activation uint8
+
+// Activation function ids. ActSigmoid is NEAT's default.
+const (
+	ActSigmoid Activation = iota
+	ActTanh
+	ActReLU
+	ActIdentity
+	ActSin
+	ActGauss
+	ActAbs
+	ActClamped
+	numActivations
+)
+
+// NumActivations is the count of defined activation functions.
+const NumActivations = int(numActivations)
+
+// String names the activation function.
+func (a Activation) String() string {
+	names := [...]string{"sigmoid", "tanh", "relu", "identity", "sin", "gauss", "abs", "clamped"}
+	if int(a) < len(names) {
+		return names[a]
+	}
+	return fmt.Sprintf("Activation(%d)", uint8(a))
+}
+
+// Aggregation enumerates how a node combines its weighted inputs.
+type Aggregation uint8
+
+// Aggregation function ids. AggSum is NEAT's default.
+const (
+	AggSum Aggregation = iota
+	AggProduct
+	AggMax
+	AggMin
+	AggMean
+	numAggregations
+)
+
+// NumAggregations is the count of defined aggregation functions.
+const NumAggregations = int(numAggregations)
+
+// String names the aggregation function.
+func (a Aggregation) String() string {
+	names := [...]string{"sum", "product", "max", "min", "mean"}
+	if int(a) < len(names) {
+		return names[a]
+	}
+	return fmt.Sprintf("Aggregation(%d)", uint8(a))
+}
+
+// Gene is one NEAT gene: either a node or a connection, per Kind.
+// Unused fields for the other kind are ignored. The float attributes are
+// full precision in memory; Pack quantizes them into the 64-bit hardware
+// word (Word), matching what the chip stores in the genome buffer SRAM.
+type Gene struct {
+	Kind Kind
+
+	// Node gene fields.
+	NodeID      int32
+	Type        NodeType
+	Bias        float64
+	Response    float64
+	Activation  Activation
+	Aggregation Aggregation
+
+	// Connection gene fields. A connection is keyed by (Src, Dst).
+	Src     int32
+	Dst     int32
+	Weight  float64
+	Enabled bool
+}
+
+// NewNode returns a node gene with NEAT defaults (bias 0, response 1,
+// sigmoid activation, sum aggregation).
+func NewNode(id int32, t NodeType) Gene {
+	return Gene{
+		Kind:        KindNode,
+		NodeID:      id,
+		Type:        t,
+		Bias:        0,
+		Response:    1,
+		Activation:  ActSigmoid,
+		Aggregation: AggSum,
+	}
+}
+
+// NewConn returns an enabled connection gene from src to dst with the
+// given weight.
+func NewConn(src, dst int32, weight float64) Gene {
+	return Gene{Kind: KindConn, Src: src, Dst: dst, Weight: weight, Enabled: true}
+}
+
+// Key returns the identity of the gene within a genome: the node id for
+// node genes, and the (src, dst) pair for connection genes. Two genes in
+// different genomes with the same key are homologous and line up during
+// crossover (NEAT's historical-marking alignment).
+func (g Gene) Key() Key {
+	if g.Kind == KindNode {
+		return Key{Kind: KindNode, A: g.NodeID}
+	}
+	return Key{Kind: KindConn, A: g.Src, B: g.Dst}
+}
+
+// Key identifies a gene within a genome.
+type Key struct {
+	Kind Kind
+	A, B int32
+}
+
+// Less orders keys: all node keys before connection keys, then ascending
+// by id — the sorted two-cluster genome layout of Section IV-C5.
+func (k Key) Less(o Key) bool {
+	if k.Kind != o.Kind {
+		return k.Kind < o.Kind
+	}
+	if k.A != o.A {
+		return k.A < o.A
+	}
+	return k.B < o.B
+}
+
+// String renders the key.
+func (k Key) String() string {
+	if k.Kind == KindNode {
+		return fmt.Sprintf("n%d", k.A)
+	}
+	return fmt.Sprintf("c%d->%d", k.A, k.B)
+}
+
+// String renders the gene in a compact human-readable form.
+func (g Gene) String() string {
+	if g.Kind == KindNode {
+		return fmt.Sprintf("node(%d %s bias=%.3f resp=%.3f %s/%s)",
+			g.NodeID, g.Type, g.Bias, g.Response, g.Activation, g.Aggregation)
+	}
+	en := "on"
+	if !g.Enabled {
+		en = "off"
+	}
+	return fmt.Sprintf("conn(%d->%d w=%.3f %s)", g.Src, g.Dst, g.Weight, en)
+}

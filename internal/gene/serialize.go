@@ -1,0 +1,155 @@
+package gene
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON serialization of genomes — checkpointing for long evolutionary
+// runs and interchange of evolved controllers. The format is explicit
+// (no packed words) so checkpoints remain readable and diffable; the
+// hardware word format (Pack/FromWords) remains the storage model for
+// the chip.
+
+// jsonNode is the serialized form of a node gene.
+type jsonNode struct {
+	ID          int32   `json:"id"`
+	Type        string  `json:"type"`
+	Bias        float64 `json:"bias"`
+	Response    float64 `json:"response"`
+	Activation  string  `json:"activation"`
+	Aggregation string  `json:"aggregation"`
+}
+
+// jsonConn is the serialized form of a connection gene.
+type jsonConn struct {
+	Src     int32   `json:"src"`
+	Dst     int32   `json:"dst"`
+	Weight  float64 `json:"weight"`
+	Enabled bool    `json:"enabled"`
+}
+
+// jsonGenome is the serialized genome.
+type jsonGenome struct {
+	ID      int64      `json:"id"`
+	Fitness float64    `json:"fitness"`
+	Nodes   []jsonNode `json:"nodes"`
+	Conns   []jsonConn `json:"conns"`
+}
+
+// nodeTypeNames maps between NodeType and its serialized name.
+var nodeTypeNames = map[NodeType]string{Hidden: "hidden", Input: "input", Output: "output"}
+
+func nodeTypeFromName(s string) (NodeType, error) {
+	for t, n := range nodeTypeNames {
+		if n == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("gene: unknown node type %q", s)
+}
+
+func activationFromName(s string) (Activation, error) {
+	for a := Activation(0); int(a) < NumActivations; a++ {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("gene: unknown activation %q", s)
+}
+
+func aggregationFromName(s string) (Aggregation, error) {
+	for a := Aggregation(0); int(a) < NumAggregations; a++ {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("gene: unknown aggregation %q", s)
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g *Genome) MarshalJSON() ([]byte, error) {
+	jg := jsonGenome{ID: g.ID, Fitness: g.Fitness}
+	for _, n := range g.Nodes {
+		jg.Nodes = append(jg.Nodes, jsonNode{
+			ID: n.NodeID, Type: nodeTypeNames[n.Type],
+			Bias: n.Bias, Response: n.Response,
+			Activation: n.Activation.String(), Aggregation: n.Aggregation.String(),
+		})
+	}
+	for _, c := range g.Conns {
+		jg.Conns = append(jg.Conns, jsonConn{
+			Src: c.Src, Dst: c.Dst, Weight: c.Weight, Enabled: c.Enabled,
+		})
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON implements json.Unmarshaler and validates the result.
+func (g *Genome) UnmarshalJSON(data []byte) error {
+	var jg jsonGenome
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("gene: %w", err)
+	}
+	out := Genome{ID: jg.ID, Fitness: jg.Fitness}
+	for _, n := range jg.Nodes {
+		t, err := nodeTypeFromName(n.Type)
+		if err != nil {
+			return err
+		}
+		act, err := activationFromName(n.Activation)
+		if err != nil {
+			return err
+		}
+		agg, err := aggregationFromName(n.Aggregation)
+		if err != nil {
+			return err
+		}
+		out.PutNode(Gene{
+			Kind: KindNode, NodeID: n.ID, Type: t,
+			Bias: n.Bias, Response: n.Response, Activation: act, Aggregation: agg,
+		})
+	}
+	for _, c := range jg.Conns {
+		out.PutConn(Gene{
+			Kind: KindConn, Src: c.Src, Dst: c.Dst, Weight: c.Weight, Enabled: c.Enabled,
+		})
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*g = out
+	return nil
+}
+
+// Save writes the genome as indented JSON.
+func (g *Genome) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// Load reads a genome from JSON.
+func Load(r io.Reader) (*Genome, error) {
+	g := &Genome{}
+	if err := json.NewDecoder(r).Decode(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SavePopulation writes a genome slice as one JSON document.
+func SavePopulation(w io.Writer, genomes []*Genome) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(genomes)
+}
+
+// LoadPopulation reads a genome slice.
+func LoadPopulation(r io.Reader) ([]*Genome, error) {
+	var out []*Genome
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultSoCMatchesPaperParameters(t *testing.T) {
+	c := DefaultSoC()
+	if c.NumEvEPEs != 256 {
+		t.Fatalf("EvE PEs = %d", c.NumEvEPEs)
+	}
+	if c.MACs() != 1024 {
+		t.Fatalf("ADAM MACs = %d", c.MACs())
+	}
+	if c.SRAMKB != 1536 {
+		t.Fatalf("SRAM = %d KB", c.SRAMKB)
+	}
+	if c.Tech.SRAMBanks != 48 || c.Tech.SRAMDepth != 4096 {
+		t.Fatalf("SRAM geometry %d×%d", c.Tech.SRAMBanks, c.Tech.SRAMDepth)
+	}
+	if c.Tech.FrequencyHz != 200e6 {
+		t.Fatalf("frequency %v", c.Tech.FrequencyHz)
+	}
+}
+
+func TestAreaMatchesFig8a(t *testing.T) {
+	c := DefaultSoC()
+	a := c.Area()
+	// Paper: EvE 0.89 mm², ADAM 0.25 mm², SoC 2.45 mm².
+	if math.Abs(a.EvE-0.89) > 0.01 {
+		t.Fatalf("EvE area %.3f, paper 0.89", a.EvE)
+	}
+	if math.Abs(a.ADAM-0.25) > 0.01 {
+		t.Fatalf("ADAM area %.3f, paper 0.25", a.ADAM)
+	}
+	if math.Abs(a.Total-2.45) > 0.15 {
+		t.Fatalf("SoC area %.3f, paper 2.45", a.Total)
+	}
+}
+
+func TestPowerMatchesFig8a(t *testing.T) {
+	p := DefaultSoC().RooflinePower()
+	if math.Abs(p.Total-947.5) > 15 {
+		t.Fatalf("roofline power %.1f mW, paper 947.5", p.Total)
+	}
+	// With 256 PEs the paper stays under 1 W.
+	if p.Total >= 1000 {
+		t.Fatalf("256-PE design point exceeds 1 W: %.1f", p.Total)
+	}
+}
+
+func TestPowerSweepMonotonic(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{2, 4, 8, 16, 32, 64, 128, 256, 512} {
+		c := DefaultSoC()
+		c.NumEvEPEs = n
+		p := c.RooflinePower().Total
+		if p <= prev {
+			t.Fatalf("power not increasing at %d PEs: %v after %v", n, p, prev)
+		}
+		prev = p
+	}
+	// 512 PEs exceed 1 W (the paper picks 256 to stay under it).
+	c := DefaultSoC()
+	c.NumEvEPEs = 512
+	if c.RooflinePower().Total <= 1000 {
+		t.Fatalf("512-PE power %.1f should exceed 1 W", c.RooflinePower().Total)
+	}
+}
+
+func TestAreaSweepMonotonic(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{2, 8, 64, 256, 512} {
+		c := DefaultSoC()
+		c.NumEvEPEs = n
+		a := c.Area().Total
+		if a <= prev {
+			t.Fatalf("area not increasing at %d PEs", n)
+		}
+		prev = a
+	}
+}
+
+func TestSRAMWords(t *testing.T) {
+	c := DefaultSoC()
+	if c.SRAMWords() != 48*4096 {
+		t.Fatalf("SRAM words %d, want 48×4096", c.SRAMWords())
+	}
+}
+
+func TestCyclesToSeconds(t *testing.T) {
+	c := DefaultSoC()
+	if got := c.CyclesToSeconds(200e6); got != 1.0 {
+		t.Fatalf("200M cycles = %v s at 200 MHz", got)
+	}
+}
+
+func TestGatedPower(t *testing.T) {
+	c := DefaultSoC()
+	roof := c.RooflinePower().Total
+	if got := c.GatedPower(1, 0.03); math.Abs(got-roof) > 1e-9 {
+		t.Fatalf("full duty = %v, want roofline %v", got, roof)
+	}
+	idle := c.GatedPower(0, 0.03)
+	if math.Abs(idle-0.03*roof) > 1e-9 {
+		t.Fatalf("idle power %v, want 3%% of roofline", idle)
+	}
+	// A GeneSys computing 1 ms/generation against a 100 ms real-world
+	// environment runs near the leakage floor — the Section VI-D point.
+	slow := c.GatedPower(0.01, 0.03)
+	if slow > 0.05*roof {
+		t.Fatalf("slow-environment power %v too high", slow)
+	}
+	// Inputs are clamped, never negative power.
+	if c.GatedPower(-1, -1) != 0 {
+		t.Fatal("clamping failed")
+	}
+}

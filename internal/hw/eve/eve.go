@@ -1,0 +1,335 @@
+// Package eve models the EVOLUTION ENGINE: the accelerator that carries
+// out selection and reproduction for every genome of the population
+// (Section IV-C). It replays reproduction traces (package trace) through
+// a configurable pool of processing elements, the gene split/merge
+// blocks, and an interconnect model, producing the cycle, SRAM-traffic
+// and energy accounts behind Fig. 9c/9d and Fig. 11.
+//
+// Model summary, at the abstraction the paper quotes its numbers:
+//
+//   - each PE is the 4-stage pipeline of Fig. 7 (crossover,
+//     perturbation, delete gene, add gene) consuming one aligned parent
+//     gene pair per cycle after a 2-cycle per-child setup
+//     (Section IV-C5);
+//   - one PE produces one whole child genome (footnote 2);
+//   - the gene selector runs as a software thread on the system CPU —
+//     the only serial step;
+//   - PE allocation is greedy: children sharing parents are scheduled
+//     in the same wave so a multicast NoC can serve them with single
+//     SRAM reads (genome-level reuse).
+package eve
+
+import (
+	"sort"
+
+	"repro/internal/hw/noc"
+	"repro/internal/hw/sram"
+	"repro/internal/neat"
+	"repro/internal/trace"
+)
+
+// Allocation selects the PE allocation policy.
+type Allocation int
+
+// Allocation policies.
+const (
+	// AllocGreedy co-schedules children sharing parents in the same
+	// wave ("PE allocation is done with a greedy policy, such that
+	// maximum number of children can be created from the parents
+	// currently in the SRAM") — the paper's design.
+	AllocGreedy Allocation = iota
+	// AllocFIFO assigns children in arrival order; the ablation
+	// baseline that forgoes genome-level reuse.
+	AllocFIFO
+)
+
+// String names the policy.
+func (a Allocation) String() string {
+	if a == AllocFIFO {
+		return "fifo"
+	}
+	return "greedy"
+}
+
+// Config is one EvE design point.
+type Config struct {
+	// NumPEs is the PE pool size.
+	NumPEs int
+	// Allocation is the PE scheduling policy (default greedy).
+	Allocation Allocation
+	// NoC is the distribution/collection interconnect.
+	NoC noc.Config
+	// PipelineDepth is the PE pipeline length (4 stages in Fig. 7).
+	PipelineDepth int
+	// SetupCycles is the per-child control/fitness load time
+	// ("it takes 2 cycles to load the parents' fitness values").
+	SetupCycles int
+	// SelectorCyclesPerGenome approximates the CPU software selector
+	// cost per population member (fitness sharing + threshold + pick).
+	SelectorCyclesPerGenome int
+	// OpEnergyPJ is the per-gene-operation PE energy.
+	OpEnergyPJ float64
+}
+
+// DefaultConfig returns the paper's design point wired to the given PE
+// count and NoC kind.
+func DefaultConfig(numPEs int, kind noc.Kind) Config {
+	return Config{
+		NumPEs: numPEs,
+		NoC: noc.Config{
+			Kind:              kind,
+			NumPEs:            numPEs,
+			SRAMReadsPerCycle: 48, // one read per bank per cycle
+			HopEnergyPJ:       0.15,
+		},
+		PipelineDepth:           4,
+		SetupCycles:             2,
+		SelectorCyclesPerGenome: 16,
+		OpEnergyPJ:              1.2,
+	}
+}
+
+// Report is the per-generation account of the evolution phase.
+type Report struct {
+	// Cycles decomposes the generation's evolution time.
+	SelectorCycles int64
+	StreamCycles   int64
+	TotalCycles    int64
+	// Waves is the number of PE scheduling rounds.
+	Waves int
+	// Children reproduced.
+	Children int
+	// SRAM traffic of reproduction.
+	SRAMReads  int64
+	SRAMWrites int64
+	// ReadsPerCycle is the mean SRAM read rate during streaming — the
+	// Fig. 11b metric.
+	ReadsPerCycle float64
+	// Energy decomposition in pJ.
+	PEEnergyPJ   float64
+	NoCEnergyPJ  float64
+	SRAMEnergyPJ float64
+	// GeneOps is the total gene-level operation count replayed.
+	GeneOps int64
+	// Utilization is busy-PE-cycles over total PE-cycles while
+	// streaming.
+	Utilization float64
+}
+
+// TotalEnergyPJ sums the energy components.
+func (r Report) TotalEnergyPJ() float64 {
+	return r.PEEnergyPJ + r.NoCEnergyPJ + r.SRAMEnergyPJ
+}
+
+// Engine replays traces against a design point and a genome buffer.
+type Engine struct {
+	cfg Config
+	buf *sram.Buffer
+}
+
+// New builds an engine. The buffer may be shared with an ADAM model;
+// pass nil to let the engine allocate a private default buffer.
+func New(cfg Config, buf *sram.Buffer) *Engine {
+	if buf == nil {
+		buf = sram.New(sram.DefaultConfig())
+	}
+	if cfg.NumPEs < 1 {
+		cfg.NumPEs = 1
+	}
+	return &Engine{cfg: cfg, buf: buf}
+}
+
+// Config returns the engine's design point.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Buffer exposes the genome buffer for shared accounting.
+func (e *Engine) Buffer() *sram.Buffer { return e.buf }
+
+// pairKey groups children by their parent pair for GLR-aware
+// scheduling.
+type pairKey struct{ p1, p2 int64 }
+
+// wave is one scheduling round: at most NumPEs children.
+type wave struct {
+	children []*trace.ChildRecord
+}
+
+// RunGeneration replays one reproduction round.
+func (e *Engine) RunGeneration(g *trace.Generation) Report {
+	cfg := e.cfg
+	r := Report{Children: len(g.Children)}
+	r.SelectorCycles = int64(cfg.SelectorCyclesPerGenome) * int64(len(g.ParentSizes))
+	if r.SelectorCycles == 0 {
+		r.SelectorCycles = int64(cfg.SelectorCyclesPerGenome) * int64(len(g.Children))
+	}
+
+	waves := e.allocate(g)
+	r.Waves = len(waves)
+
+	var busyPECycles int64
+	for _, w := range waves {
+		// Build the distribution streams: one per distinct parent.
+		streamSet := map[int64]*noc.Stream{}
+		longestChild := 0
+		var childGenes int64
+		for _, c := range w.children {
+			for _, pid := range []int64{c.Parent1, c.Parent2} {
+				if pid < 0 {
+					continue
+				}
+				s, ok := streamSet[pid]
+				if !ok {
+					s = &noc.Stream{Genes: e.parentSize(g, c, pid)}
+					streamSet[pid] = s
+				}
+				s.Consumers++
+			}
+			size := childStreamLen(g, c)
+			if size > longestChild {
+				longestChild = size
+			}
+			childGenes += childSize(c, g)
+			busyPECycles += int64(cfg.SetupCycles + size + cfg.PipelineDepth)
+		}
+		streams := make([]noc.Stream, 0, len(streamSet))
+		for _, s := range streamSet {
+			streams = append(streams, *s)
+		}
+
+		d := cfg.NoC.Distribute(streams)
+		coll := cfg.NoC.Collect(childGenes)
+		r.SRAMReads += d.SRAMReads
+		r.SRAMWrites += childGenes
+		r.NoCEnergyPJ += d.EnergyPJ + coll.EnergyPJ
+
+		waveCycles := int64(cfg.SetupCycles + longestChild + cfg.PipelineDepth)
+		if d.Cycles > waveCycles {
+			waveCycles = d.Cycles
+		}
+		r.StreamCycles += waveCycles
+	}
+
+	// Charge the SRAM traffic against the shared buffer.
+	e.buf.Read(r.SRAMReads)
+	e.buf.Write(r.SRAMWrites)
+	r.SRAMEnergyPJ = float64(r.SRAMReads+r.SRAMWrites) * e.buf.Config().AccessPJ
+
+	for i := range g.Children {
+		r.GeneOps += g.Children[i].TotalOps()
+	}
+	r.PEEnergyPJ = float64(r.GeneOps) * cfg.OpEnergyPJ
+
+	r.TotalCycles = r.SelectorCycles + r.StreamCycles
+	if r.StreamCycles > 0 {
+		r.ReadsPerCycle = float64(r.SRAMReads) / float64(r.StreamCycles)
+		r.Utilization = float64(busyPECycles) /
+			float64(r.StreamCycles*int64(cfg.NumPEs))
+		if r.Utilization > 1 {
+			r.Utilization = 1
+		}
+	}
+	return r
+}
+
+// allocate builds the wave schedule under the configured policy.
+//
+// Greedy buckets children by parent pair, largest groups first, and
+// fills waves group-by-group so same-parent children are co-scheduled
+// (maximizing multicast fan-out per SRAM read). FIFO packs children in
+// arrival order.
+func (e *Engine) allocate(g *trace.Generation) []wave {
+	cfg := e.cfg
+	ordered := make([]*trace.ChildRecord, 0, len(g.Children))
+	if cfg.Allocation == AllocFIFO {
+		for i := range g.Children {
+			ordered = append(ordered, &g.Children[i])
+		}
+	} else {
+		groups := map[pairKey][]*trace.ChildRecord{}
+		var order []pairKey
+		for i := range g.Children {
+			c := &g.Children[i]
+			k := pairKey{c.Parent1, c.Parent2}
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], c)
+		}
+		sort.Slice(order, func(i, j int) bool {
+			if len(groups[order[i]]) != len(groups[order[j]]) {
+				return len(groups[order[i]]) > len(groups[order[j]])
+			}
+			// Deterministic tiebreak.
+			if order[i].p1 != order[j].p1 {
+				return order[i].p1 < order[j].p1
+			}
+			return order[i].p2 < order[j].p2
+		})
+		for _, k := range order {
+			ordered = append(ordered, groups[k]...)
+		}
+	}
+
+	var waves []wave
+	cur := wave{}
+	for _, c := range ordered {
+		if len(cur.children) == cfg.NumPEs {
+			waves = append(waves, cur)
+			cur = wave{}
+		}
+		cur.children = append(cur.children, c)
+	}
+	if len(cur.children) > 0 {
+		waves = append(waves, cur)
+	}
+	return waves
+}
+
+// parentSize returns the gene count of parent pid, falling back to the
+// child's crossover op count when the snapshot is missing.
+func (e *Engine) parentSize(g *trace.Generation, c *trace.ChildRecord, pid int64) int {
+	if sz, ok := g.ParentSizes[pid]; ok && sz > 0 {
+		return sz
+	}
+	if n := int(c.GenesStreamed()); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// childStreamLen is the number of cycles a PE spends streaming this
+// child: the longer of the two aligned parent streams.
+func childStreamLen(g *trace.Generation, c *trace.ChildRecord) int {
+	longest := 0
+	for _, pid := range []int64{c.Parent1, c.Parent2} {
+		if pid < 0 {
+			continue
+		}
+		if sz := g.ParentSizes[pid]; sz > longest {
+			longest = sz
+		}
+	}
+	if n := int(c.GenesStreamed()); n > longest {
+		longest = n
+	}
+	if longest == 0 {
+		longest = 1
+	}
+	return longest
+}
+
+// childSize estimates the genes written back for this child: the
+// inherited topology plus additions minus deletions.
+func childSize(c *trace.ChildRecord, g *trace.Generation) int64 {
+	base := c.Ops[neat.OpCrossover] // genes inherited through crossover
+	if base == 0 {
+		// Mutation-only child: clone of parent1.
+		base = int64(g.ParentSizes[c.Parent1])
+	}
+	size := base + c.Ops[neat.OpAddNode] + c.Ops[neat.OpAddConn] -
+		c.Ops[neat.OpDeleteNode] - c.Ops[neat.OpDeleteConn]
+	if size < 1 {
+		size = 1
+	}
+	return size
+}

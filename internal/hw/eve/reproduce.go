@@ -1,0 +1,118 @@
+package eve
+
+import (
+	"sort"
+
+	"repro/internal/gene"
+	"repro/internal/rng"
+)
+
+// HardwareReproducer evolves populations entirely through the
+// functional PE datapath: the system-CPU selector thread picks parents
+// (step 7 of the walkthrough), the gene split block streams them
+// through PEs (steps 8–9), and the gene merge block writes children
+// back (step 10). This is the "evolve the topology and weights of
+// neural networks completely in hardware" claim, executed.
+//
+// The selector here is truncation selection with elitism — the
+// software thread on the Cortex-M0 is free to implement any policy;
+// speciation bookkeeping stays an algorithm-level concern (package
+// neat) and is intentionally not part of the datapath model.
+type HardwareReproducer struct {
+	// PE is the pipeline configuration shared by all PEs.
+	PE PEConfig
+	// SurvivalThreshold is the parent-pool fraction.
+	SurvivalThreshold float64
+	// Elitism copies the top genomes unchanged.
+	Elitism int
+	// CrossoverRate is the two-parent child probability.
+	CrossoverRate float64
+	// TournamentSize biases parent picks toward fitter survivors
+	// (1 = uniform).
+	TournamentSize int
+
+	prng   *rng.XorWow
+	nextID int64
+	// Stats accumulates PE activity across generations.
+	Stats PEStats
+}
+
+// NewHardwareReproducer seeds the shared PRNG block.
+func NewHardwareReproducer(seed uint64) *HardwareReproducer {
+	return &HardwareReproducer{
+		PE:                DefaultPEConfig(),
+		SurvivalThreshold: 0.2,
+		Elitism:           2,
+		CrossoverRate:     0.75,
+		TournamentSize:    3,
+		prng:              rng.New(seed),
+		nextID:            1 << 32, // clear of software-assigned ids
+	}
+}
+
+// NextGeneration produces popSize children from the evaluated genomes.
+func (h *HardwareReproducer) NextGeneration(genomes []*gene.Genome, popSize int) []*gene.Genome {
+	if len(genomes) == 0 || popSize <= 0 {
+		return nil
+	}
+	// Selector: fitness sort (descending), deterministic tiebreak.
+	parents := append([]*gene.Genome(nil), genomes...)
+	sort.Slice(parents, func(i, j int) bool {
+		if parents[i].Fitness != parents[j].Fitness {
+			return parents[i].Fitness > parents[j].Fitness
+		}
+		return parents[i].ID < parents[j].ID
+	})
+	cut := int(float64(len(parents))*h.SurvivalThreshold + 0.5)
+	if cut < 1 {
+		cut = 1
+	}
+	pool := parents[:cut]
+
+	next := make([]*gene.Genome, 0, popSize)
+	for e := 0; e < h.Elitism && e < len(parents) && len(next) < popSize; e++ {
+		elite := parents[e].Clone()
+		elite.ID = h.nextID
+		h.nextID++
+		next = append(next, elite)
+	}
+	pick := func() *gene.Genome {
+		best := pool[h.prng.Intn(len(pool))]
+		for t := 1; t < h.TournamentSize; t++ {
+			c := pool[h.prng.Intn(len(pool))]
+			if c.Fitness > best.Fitness {
+				best = c
+			}
+		}
+		return best
+	}
+	for len(next) < popSize {
+		p1 := pick()
+		var p2 *gene.Genome
+		if len(pool) > 1 && h.prng.Bool(h.CrossoverRate) {
+			p2 = pick()
+			for p2 == p1 {
+				p2 = pool[h.prng.Intn(len(pool))]
+			}
+			if p2.Fitness > p1.Fitness {
+				p1, p2 = p2, p1
+			}
+		}
+		child, st := RunChild(p1, p2, h.nextID, h.PE, h.prng)
+		h.nextID++
+		h.accumulate(st)
+		child.Fitness = 0
+		next = append(next, child)
+	}
+	return next
+}
+
+func (h *HardwareReproducer) accumulate(st PEStats) {
+	h.Stats.CyclesStreamed += st.CyclesStreamed
+	h.Stats.Crossovers += st.Crossovers
+	h.Stats.Perturbs += st.Perturbs
+	h.Stats.DeletedNodes += st.DeletedNodes
+	h.Stats.DeletedConns += st.DeletedConns
+	h.Stats.AddedNodes += st.AddedNodes
+	h.Stats.AddedConns += st.AddedConns
+}

@@ -1,0 +1,138 @@
+// Package soc assembles the GeneSys SoC from its components — EvE,
+// ADAM, the genome buffer SRAM, the NoC and the system-CPU threads —
+// and accounts full generations of the Section IV-B walkthrough:
+// inference over the population (steps 1–6), selection (step 7) and
+// reproduction (steps 8–10).
+package soc
+
+import (
+	"repro/internal/hw/adam"
+	"repro/internal/hw/energy"
+	"repro/internal/hw/eve"
+	"repro/internal/hw/noc"
+	"repro/internal/hw/sram"
+	"repro/internal/trace"
+)
+
+// SoC is one configured GeneSys chip.
+type SoC struct {
+	Cfg  energy.SoCConfig
+	EvE  *eve.Engine
+	ADAM *adam.Engine
+	Buf  *sram.Buffer
+}
+
+// New builds the SoC for a design point.
+func New(cfg energy.SoCConfig) *SoC {
+	buf := sram.New(sram.Config{
+		Banks:     cfg.Tech.SRAMBanks,
+		Depth:     cfg.SRAMKB * 1024 / 8 / cfg.Tech.SRAMBanks,
+		AccessPJ:  cfg.Tech.ESRAMAccess,
+		PortsEach: 1,
+	})
+	kind := noc.PointToPoint
+	if cfg.Multicast {
+		kind = noc.MulticastTree
+	}
+	ecfg := eve.DefaultConfig(cfg.NumEvEPEs, kind)
+	ecfg.NoC.SRAMReadsPerCycle = cfg.Tech.SRAMBanks
+	ecfg.NoC.HopEnergyPJ = cfg.Tech.ENoCHop
+	ecfg.OpEnergyPJ = cfg.Tech.EEvEOp
+	acfg := adam.DefaultConfig()
+	acfg.Rows, acfg.Cols = cfg.ADAMRows, cfg.ADAMCols
+	acfg.MACEnergyPJ = cfg.Tech.EMAC
+	acfg.SRAMAccessPJ = cfg.Tech.ESRAMAccess
+	return &SoC{
+		Cfg:  cfg,
+		EvE:  eve.New(ecfg, buf),
+		ADAM: adam.New(acfg),
+		Buf:  buf,
+	}
+}
+
+// GenerationReport accounts one full generation on the SoC.
+type GenerationReport struct {
+	Inference adam.Report
+	Evolution eve.Report
+
+	// Time decomposition (Fig. 10c): moving data between the scratchpad
+	// and ADAM versus computing in ADAM, plus the evolution phase.
+	ScratchpadToADAMCycles int64
+	ADAMToScratchpadCycles int64
+	InferenceComputeCycles int64
+
+	// Totals. TotalCycles serializes the phases (the paper's reported
+	// split); OverlappedCycles applies the step-10 pipelining remark
+	// (children launch over ADAM as they become ready), bounded below
+	// by the serial selector.
+	TotalCycles      int64
+	OverlappedCycles int64
+	TotalSeconds     float64
+	TotalEnergyPJ    float64
+	AveragePowerMW   float64
+
+	// FootprintBytes is the genome-buffer working set; Spilled reports
+	// whether it exceeded on-chip capacity.
+	FootprintBytes int
+	Spilled        bool
+}
+
+// DataMovementFraction is the share of inference time spent on
+// scratchpad↔ADAM transfers — the ~15% the paper reports for GeneSys.
+func (r GenerationReport) DataMovementFraction() float64 {
+	total := r.ScratchpadToADAMCycles + r.ADAMToScratchpadCycles + r.InferenceComputeCycles
+	if total == 0 {
+		return 0
+	}
+	return float64(r.ScratchpadToADAMCycles+r.ADAMToScratchpadCycles) / float64(total)
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RunGeneration accounts one generation: the population's inference
+// jobs and its reproduction trace.
+func (s *SoC) RunGeneration(jobs []adam.Job, g *trace.Generation, footprintBytes int) GenerationReport {
+	s.Buf.SetResidency(footprintBytes / 8)
+
+	var r GenerationReport
+	r.FootprintBytes = footprintBytes
+	r.Spilled = !s.Buf.Resident()
+
+	r.Inference = s.ADAM.RunGeneration(jobs)
+	if g != nil {
+		r.Evolution = s.EvE.RunGeneration(g)
+	}
+
+	// Inference-phase transfers ride the banked scratchpad: reads feed
+	// the array, writes return vertex values.
+	bw := int64(s.Buf.Config().Banks * s.Buf.Config().PortsEach)
+	r.ScratchpadToADAMCycles = (r.Inference.SRAMReads + bw - 1) / bw
+	r.ADAMToScratchpadCycles = (r.Inference.SRAMWrites + bw - 1) / bw
+	r.InferenceComputeCycles = r.Inference.ComputeCycles
+
+	// Transfers overlap with compute only partially; the paper's
+	// GeneSys split (Fig. 10c) counts them additively, as do we.
+	r.TotalCycles = r.Inference.TotalCycles +
+		r.ScratchpadToADAMCycles + r.ADAMToScratchpadCycles +
+		r.Evolution.TotalCycles
+	// Step 10 of the walkthrough: "as each child genome becomes ready,
+	// it can be launched over ADAM once again" — with phase overlap
+	// the generation takes the longer phase plus the serial selector,
+	// not the sum.
+	inferCycles := r.Inference.TotalCycles +
+		r.ScratchpadToADAMCycles + r.ADAMToScratchpadCycles
+	r.OverlappedCycles = r.Evolution.SelectorCycles + maxInt64(inferCycles,
+		r.Evolution.TotalCycles-r.Evolution.SelectorCycles)
+	r.TotalSeconds = s.Cfg.CyclesToSeconds(r.TotalCycles)
+	r.TotalEnergyPJ = r.Inference.TotalEnergyPJ() + r.Evolution.TotalEnergyPJ()
+	if r.TotalSeconds > 0 {
+		// pJ / s = pW; convert to mW.
+		r.AveragePowerMW = r.TotalEnergyPJ / r.TotalSeconds * 1e-9
+	}
+	return r
+}

@@ -1,0 +1,140 @@
+// Package sram models the genome buffer: the shared multi-banked SRAM
+// that holds every genome of the current generation and feeds both EvE
+// and ADAM (Fig. 6). The paper provisions 1.5 MB in 48 banks of 4096
+// 64-bit entries, sized from the <1 MB-per-generation footprint of
+// Section III-D1 and banked to exploit parent reuse and avoid conflicts
+// while feeding ADAM.
+//
+// The model is an activity counter with bank-conflict accounting: the
+// cycle models present their per-cycle access demand and the buffer
+// reports how many cycles the banks need to serve it, while tallying
+// accesses and energy.
+package sram
+
+import "fmt"
+
+// Config fixes the buffer geometry.
+type Config struct {
+	Banks     int // number of independent banks
+	Depth     int // 64-bit entries per bank
+	AccessPJ  float64
+	PortsEach int // accesses each bank serves per cycle (1 = single-ported)
+}
+
+// DefaultConfig is the paper's 48 × 4096 × 64-bit buffer.
+func DefaultConfig() Config {
+	return Config{Banks: 48, Depth: 4096, AccessPJ: 50, PortsEach: 1}
+}
+
+// CapacityWords returns total 64-bit capacity.
+func (c Config) CapacityWords() int { return c.Banks * c.Depth }
+
+// CapacityBytes returns total capacity in bytes.
+func (c Config) CapacityBytes() int { return c.CapacityWords() * 8 }
+
+// Buffer is the genome buffer activity model.
+type Buffer struct {
+	cfg Config
+
+	reads, writes int64
+	// conflictCycles counts extra cycles lost to bank conflicts.
+	conflictCycles int64
+	// spillWords counts accesses that missed on-chip capacity and went
+	// to DRAM ("backed by DRAM for cases when the genomes do not fit").
+	spillWords int64
+	residency  int // words currently allocated
+}
+
+// New returns an empty buffer with the given geometry.
+func New(cfg Config) *Buffer {
+	if cfg.Banks <= 0 || cfg.Depth <= 0 {
+		panic(fmt.Sprintf("sram: bad geometry %+v", cfg))
+	}
+	if cfg.PortsEach <= 0 {
+		cfg.PortsEach = 1
+	}
+	return &Buffer{cfg: cfg}
+}
+
+// Config returns the geometry.
+func (b *Buffer) Config() Config { return b.cfg }
+
+// SetResidency declares how many words the current generation occupies;
+// accesses beyond capacity are charged as DRAM spills.
+func (b *Buffer) SetResidency(words int) {
+	if words < 0 {
+		words = 0
+	}
+	b.residency = words
+}
+
+// Resident reports whether the declared working set fits on-chip.
+func (b *Buffer) Resident() bool { return b.residency <= b.cfg.CapacityWords() }
+
+// spillFraction is the fraction of the working set that lives off-chip.
+func (b *Buffer) spillFraction() float64 {
+	cap := b.cfg.CapacityWords()
+	if b.residency <= cap || b.residency == 0 {
+		return 0
+	}
+	return float64(b.residency-cap) / float64(b.residency)
+}
+
+// Read charges n word reads spread across banks and returns the cycles
+// the banks need to serve them (bandwidth = Banks × PortsEach words per
+// cycle; genomes are stored bank-interleaved so streaming reads load
+// banks evenly).
+func (b *Buffer) Read(n int64) int64 {
+	return b.access(n, false)
+}
+
+// Write charges n word writes.
+func (b *Buffer) Write(n int64) int64 {
+	return b.access(n, true)
+}
+
+func (b *Buffer) access(n int64, write bool) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if write {
+		b.writes += n
+	} else {
+		b.reads += n
+	}
+	spilled := int64(float64(n) * b.spillFraction())
+	b.spillWords += spilled
+
+	bw := int64(b.cfg.Banks * b.cfg.PortsEach)
+	cycles := (n + bw - 1) / bw
+	// Perfectly interleaved streams would finish in n/bw cycles; the
+	// residual partial cycle is the conflict cost we account.
+	ideal := n / bw
+	b.conflictCycles += cycles - ideal
+	return cycles
+}
+
+// ReadCount returns total word reads so far.
+func (b *Buffer) ReadCount() int64 { return b.reads }
+
+// WriteCount returns total word writes so far.
+func (b *Buffer) WriteCount() int64 { return b.writes }
+
+// SpillWords returns accesses served by DRAM due to capacity misses.
+func (b *Buffer) SpillWords() int64 { return b.spillWords }
+
+// ConflictCycles returns cycles lost to partial-bandwidth cycles.
+func (b *Buffer) ConflictCycles() int64 { return b.conflictCycles }
+
+// EnergyPJ returns the access energy consumed so far. DRAM spills are
+// charged at 100× the SRAM access energy (the usual off-chip ratio).
+func (b *Buffer) EnergyPJ() float64 {
+	onChip := float64(b.reads+b.writes-b.spillWords) * b.cfg.AccessPJ
+	offChip := float64(b.spillWords) * b.cfg.AccessPJ * 100
+	return onChip + offChip
+}
+
+// Reset clears the activity counters (not the residency).
+func (b *Buffer) Reset() {
+	b.reads, b.writes, b.conflictCycles, b.spillWords = 0, 0, 0, 0
+}

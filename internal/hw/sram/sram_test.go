@@ -1,0 +1,108 @@
+package sram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCapacityMatchesPaper(t *testing.T) {
+	c := DefaultConfig()
+	if c.CapacityBytes() != 1536*1024 {
+		t.Fatalf("capacity %d bytes, want 1.5 MB", c.CapacityBytes())
+	}
+}
+
+func TestAccessCounting(t *testing.T) {
+	b := New(DefaultConfig())
+	b.Read(100)
+	b.Write(40)
+	if b.ReadCount() != 100 || b.WriteCount() != 40 {
+		t.Fatalf("counts %d/%d", b.ReadCount(), b.WriteCount())
+	}
+	b.Reset()
+	if b.ReadCount() != 0 || b.WriteCount() != 0 || b.EnergyPJ() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestBandwidthCycles(t *testing.T) {
+	b := New(Config{Banks: 48, Depth: 4096, AccessPJ: 50, PortsEach: 1})
+	// 48 words in one cycle.
+	if c := b.Read(48); c != 1 {
+		t.Fatalf("48 reads took %d cycles", c)
+	}
+	// 49 words need two.
+	if c := b.Read(49); c != 2 {
+		t.Fatalf("49 reads took %d cycles", c)
+	}
+	if c := b.Read(0); c != 0 {
+		t.Fatalf("0 reads took %d cycles", c)
+	}
+}
+
+func TestEnergyScalesWithAccesses(t *testing.T) {
+	b := New(DefaultConfig())
+	b.Read(1000)
+	e1 := b.EnergyPJ()
+	b.Read(1000)
+	if e2 := b.EnergyPJ(); e2 != 2*e1 {
+		t.Fatalf("energy not linear: %v then %v", e1, e2)
+	}
+	if e1 != 1000*50 {
+		t.Fatalf("energy %v, want 50 pJ/access", e1)
+	}
+}
+
+func TestSpillAccounting(t *testing.T) {
+	b := New(DefaultConfig())
+	// Fits on-chip: no spill.
+	b.SetResidency(b.Config().CapacityWords())
+	if !b.Resident() {
+		t.Fatal("exact fit reported as spilled")
+	}
+	b.Read(1000)
+	if b.SpillWords() != 0 {
+		t.Fatalf("resident working set spilled %d", b.SpillWords())
+	}
+	// Twice the capacity: half the accesses go off-chip.
+	b.Reset()
+	b.SetResidency(2 * b.Config().CapacityWords())
+	if b.Resident() {
+		t.Fatal("oversized set reported resident")
+	}
+	b.Read(1000)
+	if b.SpillWords() != 500 {
+		t.Fatalf("spilled %d of 1000, want 500", b.SpillWords())
+	}
+	// Off-chip accesses are 100× the energy.
+	wantPJ := float64(500)*50 + float64(500)*50*100
+	if b.EnergyPJ() != wantPJ {
+		t.Fatalf("spill energy %v, want %v", b.EnergyPJ(), wantPJ)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-bank geometry accepted")
+		}
+	}()
+	New(Config{Banks: 0, Depth: 10})
+}
+
+// Property: cycles returned are always ceil(n / bandwidth).
+func TestQuickCycleLaw(t *testing.T) {
+	f := func(n uint16, banks, ports uint8) bool {
+		bk := int(banks%64) + 1
+		pt := int(ports%4) + 1
+		b := New(Config{Banks: bk, Depth: 128, AccessPJ: 1, PortsEach: pt})
+		words := int64(n)
+		got := b.Read(words)
+		bw := int64(bk * pt)
+		want := (words + bw - 1) / bw
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package hypernet implements the HyperNEAT-style indirect encoding the
+// paper points to for denser genomes (Section III-D1: "other NE
+// algorithms such as HyperNEAT provide a mechanism to encode the
+// genomes more efficiently, which can be leveraged if need be").
+//
+// A Compositional Pattern Producing Network (CPPN) — itself an ordinary
+// NEAT genome — is queried with the coordinates of node pairs laid out
+// on a geometric substrate; its output becomes the connection weight.
+// A small CPPN genome thereby encodes an arbitrarily large, regular
+// phenotype network: exactly the compression a genome-buffer-limited
+// accelerator wants for big substrates.
+package hypernet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gene"
+	"repro/internal/neat"
+	"repro/internal/network"
+)
+
+// Point is a node location on the substrate.
+type Point struct{ X, Y float64 }
+
+// Substrate is a fixed layered geometry: the phenotype network connects
+// every node in one layer to every node in the next, with weights drawn
+// from the CPPN.
+type Substrate struct {
+	// Layers holds node coordinates, input layer first, output last.
+	Layers [][]Point
+	// WeightThreshold prunes connections whose |CPPN output| falls
+	// below it (HyperNEAT's expression threshold).
+	WeightThreshold float64
+	// WeightScale maps the CPPN output range onto phenotype weights.
+	WeightScale float64
+}
+
+// GridSubstrate builds a substrate with the given layer widths, nodes
+// evenly spaced in [-1, 1] per layer and layers stacked in Y.
+func GridSubstrate(widths ...int) (Substrate, error) {
+	if len(widths) < 2 {
+		return Substrate{}, fmt.Errorf("hypernet: need at least input and output layers")
+	}
+	s := Substrate{WeightThreshold: 0.2, WeightScale: 3.0}
+	for li, w := range widths {
+		if w <= 0 {
+			return Substrate{}, fmt.Errorf("hypernet: layer %d width %d", li, w)
+		}
+		y := -1 + 2*float64(li)/float64(len(widths)-1)
+		layer := make([]Point, w)
+		for i := range layer {
+			x := 0.0
+			if w > 1 {
+				x = -1 + 2*float64(i)/float64(w-1)
+			}
+			layer[i] = Point{X: x, Y: y}
+		}
+		s.Layers = append(s.Layers, layer)
+	}
+	return s, nil
+}
+
+// NumInputs returns the substrate's input width.
+func (s Substrate) NumInputs() int { return len(s.Layers[0]) }
+
+// NumOutputs returns the substrate's output width.
+func (s Substrate) NumOutputs() int { return len(s.Layers[len(s.Layers)-1]) }
+
+// PhenotypeConnections returns the substrate's full connection count
+// (before threshold pruning).
+func (s Substrate) PhenotypeConnections() int {
+	n := 0
+	for l := 0; l+1 < len(s.Layers); l++ {
+		n += len(s.Layers[l]) * len(s.Layers[l+1])
+	}
+	return n
+}
+
+// CPPNConfig returns the NEAT configuration for evolving CPPNs over
+// this substrate: four inputs (x1, y1, x2, y2) and one weight output.
+// CPPNs thrive on diverse activation functions, so the mutation rate
+// for activations is raised.
+func CPPNConfig() neat.Config {
+	cfg := neat.DefaultConfig(4, 1)
+	cfg.ActivationMutateRate = 0.3
+	return cfg
+}
+
+// Decode expands a CPPN genome into the phenotype genome for the
+// substrate: a regular NEAT genome (node and connection genes) that
+// the network package — and therefore ADAM — consumes unchanged.
+func Decode(cppn *gene.Genome, s Substrate) (*gene.Genome, error) {
+	net, err := network.New(cppn)
+	if err != nil {
+		return nil, fmt.Errorf("hypernet: bad CPPN: %w", err)
+	}
+	if net.NumInputs() != 4 || net.NumOutputs() != 1 {
+		return nil, fmt.Errorf("hypernet: CPPN must be 4-in/1-out, is %d/%d",
+			net.NumInputs(), net.NumOutputs())
+	}
+
+	pheno := gene.NewGenome(cppn.ID)
+	// Node ids: layer-major, contiguous.
+	ids := make([][]int32, len(s.Layers))
+	next := int32(0)
+	for li, layer := range s.Layers {
+		ids[li] = make([]int32, len(layer))
+		for i := range layer {
+			t := gene.Hidden
+			switch li {
+			case 0:
+				t = gene.Input
+			case len(s.Layers) - 1:
+				t = gene.Output
+			}
+			n := gene.NewNode(next, t)
+			if t != gene.Input {
+				n.Activation = gene.ActTanh
+			}
+			pheno.PutNode(n)
+			ids[li][i] = next
+			next++
+		}
+	}
+	for li := 0; li+1 < len(s.Layers); li++ {
+		for ai, a := range s.Layers[li] {
+			for bi, b := range s.Layers[li+1] {
+				out, err := net.Feed([]float64{a.X, a.Y, b.X, b.Y})
+				if err != nil {
+					return nil, err
+				}
+				// Centre the sigmoid-ish CPPN output on zero.
+				v := 2*out[0] - 1
+				if math.Abs(v) < s.WeightThreshold {
+					continue
+				}
+				w := v * s.WeightScale
+				pheno.PutConn(gene.NewConn(ids[li][ai], ids[li+1][bi], w))
+			}
+		}
+	}
+	return pheno, nil
+}
+
+// CompressionRatio is the encoding win: phenotype genes per CPPN gene.
+func CompressionRatio(cppn, pheno *gene.Genome) float64 {
+	if cppn.NumGenes() == 0 {
+		return 0
+	}
+	return float64(pheno.NumGenes()) / float64(cppn.NumGenes())
+}

@@ -1,0 +1,200 @@
+package hypernet
+
+import (
+	"testing"
+
+	"repro/internal/env"
+	"repro/internal/gene"
+	"repro/internal/neat"
+	"repro/internal/network"
+)
+
+func TestGridSubstrate(t *testing.T) {
+	s, err := GridSubstrate(4, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumInputs() != 4 || s.NumOutputs() != 2 {
+		t.Fatalf("io %d/%d", s.NumInputs(), s.NumOutputs())
+	}
+	if s.PhenotypeConnections() != 4*8+8*2 {
+		t.Fatalf("connections %d", s.PhenotypeConnections())
+	}
+	// Coordinates span [-1, 1] in both axes.
+	if s.Layers[0][0].Y != -1 || s.Layers[2][0].Y != 1 {
+		t.Fatalf("layer Y coords: %v", s.Layers)
+	}
+	if _, err := GridSubstrate(4); err == nil {
+		t.Fatal("single-layer substrate accepted")
+	}
+	if _, err := GridSubstrate(4, 0); err == nil {
+		t.Fatal("zero-width layer accepted")
+	}
+}
+
+// seedCPPN builds a population of CPPNs and returns one genome.
+func seedCPPN(t *testing.T, seed uint64) *gene.Genome {
+	t.Helper()
+	cfg := CPPNConfig()
+	cfg.PopulationSize = 10
+	pop, err := neat.NewPopulation(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A couple of epochs to diversify the weights away from zero.
+	for g := 0; g < 3; g++ {
+		for i, gn := range pop.Genomes {
+			gn.Fitness = float64(i)
+		}
+		if _, err := pop.Epoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pop.Genomes[0]
+}
+
+func TestDecodeProducesValidPhenotype(t *testing.T) {
+	cppn := seedCPPN(t, 5)
+	s, _ := GridSubstrate(8, 16, 4)
+	pheno, err := Decode(cppn, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pheno.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	net, err := network.New(pheno)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumInputs() != 8 || net.NumOutputs() != 4 {
+		t.Fatalf("phenotype io %d/%d", net.NumInputs(), net.NumOutputs())
+	}
+	obs := make([]float64, 8)
+	if _, err := net.Feed(obs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsWrongCPPNShape(t *testing.T) {
+	cfg := neat.DefaultConfig(2, 1) // wrong input count
+	cfg.PopulationSize = 4
+	pop, _ := neat.NewPopulation(cfg, 1)
+	s, _ := GridSubstrate(4, 2)
+	if _, err := Decode(pop.Genomes[0], s); err == nil {
+		t.Fatal("2-input CPPN accepted")
+	}
+}
+
+func TestThresholdPrunes(t *testing.T) {
+	cppn := seedCPPN(t, 7)
+	s, _ := GridSubstrate(8, 8, 8)
+	s.WeightThreshold = 0
+	dense, err := Decode(cppn, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.WeightThreshold = 0.95
+	sparse, err := Decode(cppn, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sparse.Conns) > len(dense.Conns) {
+		t.Fatalf("higher threshold added connections: %d vs %d",
+			len(sparse.Conns), len(dense.Conns))
+	}
+	if len(dense.Conns) != s.PhenotypeConnections() {
+		t.Fatalf("zero threshold expressed %d of %d", len(dense.Conns), s.PhenotypeConnections())
+	}
+}
+
+func TestCompression(t *testing.T) {
+	cppn := seedCPPN(t, 9)
+	// A RAM-scale substrate: 128 inputs → 64 hidden → 18 outputs.
+	s, _ := GridSubstrate(128, 64, 18)
+	s.WeightThreshold = 0
+	pheno, err := Decode(cppn, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := CompressionRatio(cppn, pheno)
+	// The paper's point: a small CPPN encodes a much larger genome.
+	if ratio < 50 {
+		t.Fatalf("compression ratio only %.1f (CPPN %d genes, phenotype %d)",
+			ratio, cppn.NumGenes(), pheno.NumGenes())
+	}
+	t.Logf("CPPN %d genes → phenotype %d genes (%.0f× compression)",
+		cppn.NumGenes(), pheno.NumGenes(), ratio)
+}
+
+// TestHyperNEATEvolvesCartPole closes the loop: evolving CPPNs whose
+// decoded substrate networks control the environment.
+func TestHyperNEATEvolvesCartPole(t *testing.T) {
+	e, err := env.New("cartpole")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := GridSubstrate(4, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := CPPNConfig()
+	cfg.PopulationSize = 40
+	pop, err := neat.NewPopulation(cfg, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evalCPPN := func(cppn *gene.Genome) float64 {
+		pheno, err := Decode(cppn, s)
+		if err != nil {
+			return 0
+		}
+		net, err := network.New(pheno)
+		if err != nil {
+			return 0
+		}
+		obs := e.Reset(3)
+		total := 0.0
+		for {
+			a, err := net.Feed(obs)
+			if err != nil {
+				return 0
+			}
+			var r float64
+			var done bool
+			obs, r, done = e.Step(a)
+			total += r
+			if done {
+				return total
+			}
+		}
+	}
+
+	first, best := 0.0, 0.0
+	for gen := 0; gen < 20; gen++ {
+		genBest := 0.0
+		for _, g := range pop.Genomes {
+			g.Fitness = evalCPPN(g)
+			if g.Fitness > genBest {
+				genBest = g.Fitness
+			}
+		}
+		if gen == 0 {
+			first = genBest
+		}
+		if genBest > best {
+			best = genBest
+		}
+		if best >= 195 {
+			break
+		}
+		if _, err := pop.Epoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if best <= first {
+		t.Fatalf("HyperNEAT made no progress: %v -> %v", first, best)
+	}
+	t.Logf("hyperneat cartpole: gen0=%v best=%v", first, best)
+}

@@ -1,0 +1,266 @@
+// Package nas implements the paper's second Future-Directions idea:
+// running GeneSys-style evolution where "genes represent layers in
+// MLPs" — the genetic algorithm explores network architectures while
+// conventional gradient training tunes the weights ("rapid topology
+// exploration and then using conventional training to tune the
+// weights", Section VII). This is the neuro-architecture-search regime
+// the paper cites through Real et al. and Miikkulainen et al.
+//
+// A genome here is a short list of layer genes (width + activation
+// shape); fitness is the validation loss after a fixed budget of SGD
+// on the decoded MLP (package dnn). Mutation adds/removes/resizes
+// layers; crossover splices prefixes — gene-level operations an EvE-
+// class accelerator would execute, with only the gene definition
+// changed, exactly as the paper argues.
+package nas
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dnn"
+	"repro/internal/rng"
+)
+
+// LayerGene is one gene: a hidden layer's width. (The dnn substrate
+// fixes ReLU hidden activations; width is the architectural knob.)
+type LayerGene struct {
+	Width int
+}
+
+// Genome is an architecture: an ordered list of hidden-layer genes.
+type Genome struct {
+	ID      int64
+	Layers  []LayerGene
+	Fitness float64 // negative validation loss (higher is better)
+}
+
+// Clone deep-copies the genome.
+func (g *Genome) Clone() *Genome {
+	c := &Genome{ID: g.ID, Fitness: g.Fitness}
+	c.Layers = append([]LayerGene(nil), g.Layers...)
+	return c
+}
+
+// sizes returns the dnn layer sizes for the given io widths.
+func (g *Genome) sizes(in, out int) []int {
+	s := []int{in}
+	for _, l := range g.Layers {
+		s = append(s, l.Width)
+	}
+	return append(s, out)
+}
+
+// Params counts the decoded network's parameters.
+func (g *Genome) Params(in, out int) int64 {
+	sizes := g.sizes(in, out)
+	var p int64
+	for i := 1; i < len(sizes); i++ {
+		p += int64(sizes[i-1])*int64(sizes[i]) + int64(sizes[i])
+	}
+	return p
+}
+
+// Task is a supervised problem the search optimizes against.
+type Task struct {
+	In, Out int
+	// Train and Val are (x, y) example sets.
+	TrainX, TrainY [][]float64
+	ValX, ValY     [][]float64
+}
+
+// SyntheticTask builds a nonlinear regression problem (a product-and-
+// sine composition) — the stand-in for a labeled dataset, which this
+// environment does not have (see DESIGN.md substitutions).
+func SyntheticTask(r *rng.XorWow, trainN, valN int) Task {
+	t := Task{In: 3, Out: 1}
+	gen := func(n int) (xs, ys [][]float64) {
+		for i := 0; i < n; i++ {
+			x := []float64{r.Range(-1, 1), r.Range(-1, 1), r.Range(-1, 1)}
+			y := []float64{math.Sin(2*x[0])*x[1]*0.5 + 0.3*x[2]*x[2]}
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+		return
+	}
+	t.TrainX, t.TrainY = gen(trainN)
+	t.ValX, t.ValY = gen(valN)
+	return t
+}
+
+// Config tunes the search.
+type Config struct {
+	PopulationSize int
+	// TrainSteps is the SGD budget per fitness evaluation (the
+	// "conventional training" half of the hybrid).
+	TrainSteps int
+	LR         float64
+	// MaxLayers / MaxWidth bound the architecture space.
+	MaxLayers int
+	MaxWidth  int
+	// Mutation probabilities.
+	AddLayerProb, DelLayerProb, ResizeProb float64
+	SurvivalFraction                       float64
+}
+
+// DefaultConfig is a small, fast search space.
+func DefaultConfig() Config {
+	return Config{
+		PopulationSize:   16,
+		TrainSteps:       300,
+		LR:               0.05,
+		MaxLayers:        4,
+		MaxWidth:         32,
+		AddLayerProb:     0.25,
+		DelLayerProb:     0.15,
+		ResizeProb:       0.5,
+		SurvivalFraction: 0.4,
+	}
+}
+
+// Search runs the architecture evolution.
+type Search struct {
+	cfg    Config
+	task   Task
+	rnd    *rng.XorWow
+	pop    []*Genome
+	nextID int64
+	// Generation counts completed epochs.
+	Generation int
+}
+
+// NewSearch seeds a population of single-layer architectures.
+func NewSearch(cfg Config, task Task, seed uint64) (*Search, error) {
+	if cfg.PopulationSize < 2 {
+		return nil, fmt.Errorf("nas: population %d too small", cfg.PopulationSize)
+	}
+	if task.In <= 0 || task.Out <= 0 || len(task.TrainX) == 0 || len(task.ValX) == 0 {
+		return nil, fmt.Errorf("nas: task is empty")
+	}
+	s := &Search{cfg: cfg, task: task, rnd: rng.New(seed)}
+	for i := 0; i < cfg.PopulationSize; i++ {
+		s.pop = append(s.pop, &Genome{
+			ID:     s.nextID,
+			Layers: []LayerGene{{Width: 2 + s.rnd.Intn(cfg.MaxWidth-1)}},
+		})
+		s.nextID++
+	}
+	return s, nil
+}
+
+// Population exposes the current genomes.
+func (s *Search) Population() []*Genome { return s.pop }
+
+// evaluate trains the decoded MLP briefly and scores validation loss.
+func (s *Search) evaluate(g *Genome) (float64, error) {
+	net, err := dnn.NewMLP(s.rnd.Split(), g.sizes(s.task.In, s.task.Out)...)
+	if err != nil {
+		return 0, err
+	}
+	n := len(s.task.TrainX)
+	for step := 0; step < s.cfg.TrainSteps; step++ {
+		i := step % n
+		if _, err := net.Forward(s.task.TrainX[i]); err != nil {
+			return 0, err
+		}
+		if err := net.BackwardMSE(outIndices(s.task.Out), s.task.TrainY[i]); err != nil {
+			return 0, err
+		}
+		net.SGDStep(s.cfg.LR, 1, 1)
+	}
+	var loss float64
+	for i := range s.task.ValX {
+		out, err := net.Forward(s.task.ValX[i])
+		if err != nil {
+			return 0, err
+		}
+		for j := range out {
+			d := out[j] - s.task.ValY[i][j]
+			loss += d * d
+		}
+	}
+	return -loss / float64(len(s.task.ValX)), nil
+}
+
+func outIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Step runs one generation: evaluate, select, reproduce. It returns
+// the generation's best genome (post-evaluation).
+func (s *Search) Step() (*Genome, error) {
+	for _, g := range s.pop {
+		fit, err := s.evaluate(g)
+		if err != nil {
+			return nil, err
+		}
+		g.Fitness = fit
+	}
+	sort.Slice(s.pop, func(i, j int) bool { return s.pop[i].Fitness > s.pop[j].Fitness })
+	best := s.pop[0].Clone()
+
+	cut := int(float64(len(s.pop))*s.cfg.SurvivalFraction + 0.5)
+	if cut < 2 {
+		cut = 2
+	}
+	pool := s.pop[:cut]
+	next := []*Genome{best} // elitism
+	for len(next) < s.cfg.PopulationSize {
+		p1 := pool[s.rnd.Intn(len(pool))]
+		p2 := pool[s.rnd.Intn(len(pool))]
+		child := s.crossover(p1, p2)
+		s.mutate(child)
+		next = append(next, child)
+	}
+	s.pop = next
+	s.Generation++
+	return best, nil
+}
+
+// crossover splices a prefix of p1 with a suffix of p2 — the layer-
+// gene analogue of the PE crossover stage.
+func (s *Search) crossover(p1, p2 *Genome) *Genome {
+	child := &Genome{ID: s.nextID}
+	s.nextID++
+	i := s.rnd.Intn(len(p1.Layers) + 1)
+	j := s.rnd.Intn(len(p2.Layers) + 1)
+	child.Layers = append(child.Layers, p1.Layers[:i]...)
+	child.Layers = append(child.Layers, p2.Layers[j:]...)
+	if len(child.Layers) == 0 {
+		child.Layers = []LayerGene{{Width: 4}}
+	}
+	if len(child.Layers) > s.cfg.MaxLayers {
+		child.Layers = child.Layers[:s.cfg.MaxLayers]
+	}
+	return child
+}
+
+// mutate applies the add/delete/resize layer-gene operations.
+func (s *Search) mutate(g *Genome) {
+	if s.rnd.Bool(s.cfg.AddLayerProb) && len(g.Layers) < s.cfg.MaxLayers {
+		at := s.rnd.Intn(len(g.Layers) + 1)
+		g.Layers = append(g.Layers, LayerGene{})
+		copy(g.Layers[at+1:], g.Layers[at:])
+		g.Layers[at] = LayerGene{Width: 2 + s.rnd.Intn(s.cfg.MaxWidth-1)}
+	}
+	if s.rnd.Bool(s.cfg.DelLayerProb) && len(g.Layers) > 1 {
+		at := s.rnd.Intn(len(g.Layers))
+		g.Layers = append(g.Layers[:at], g.Layers[at+1:]...)
+	}
+	if s.rnd.Bool(s.cfg.ResizeProb) && len(g.Layers) > 0 {
+		at := s.rnd.Intn(len(g.Layers))
+		w := g.Layers[at].Width + s.rnd.Intn(9) - 4
+		if w < 2 {
+			w = 2
+		}
+		if w > s.cfg.MaxWidth {
+			w = s.cfg.MaxWidth
+		}
+		g.Layers[at].Width = w
+	}
+}

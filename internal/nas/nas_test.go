@@ -1,0 +1,125 @@
+package nas
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func testTask() Task {
+	return SyntheticTask(rng.New(1), 200, 50)
+}
+
+func TestNewSearchValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := NewSearch(cfg, Task{}, 1); err == nil {
+		t.Fatal("empty task accepted")
+	}
+	bad := cfg
+	bad.PopulationSize = 1
+	if _, err := NewSearch(bad, testTask(), 1); err == nil {
+		t.Fatal("population of 1 accepted")
+	}
+	s, err := NewSearch(cfg, testTask(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Population()) != cfg.PopulationSize {
+		t.Fatalf("population %d", len(s.Population()))
+	}
+	for _, g := range s.Population() {
+		if len(g.Layers) != 1 || g.Layers[0].Width < 2 {
+			t.Fatalf("bad seed genome %+v", g)
+		}
+	}
+}
+
+func TestArchitectureBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TrainSteps = 20 // keep the test fast; we only check structure
+	s, err := NewSearch(cfg, testTask(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gen := 0; gen < 4; gen++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range s.Population() {
+			if len(g.Layers) < 1 || len(g.Layers) > cfg.MaxLayers {
+				t.Fatalf("gen %d: %d layers", gen, len(g.Layers))
+			}
+			for _, l := range g.Layers {
+				if l.Width < 2 || l.Width > cfg.MaxWidth {
+					t.Fatalf("gen %d: width %d", gen, l.Width)
+				}
+			}
+		}
+	}
+	if s.Generation != 4 {
+		t.Fatalf("generation counter %d", s.Generation)
+	}
+}
+
+// TestSearchImprovesValidationLoss is the hybrid's claim: GA over
+// layer genes + SGD over weights reduces validation loss across
+// generations.
+func TestSearchImprovesValidationLoss(t *testing.T) {
+	cfg := DefaultConfig()
+	s, err := NewSearch(cfg, testTask(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *Genome
+	for gen := 0; gen < 6; gen++ {
+		last, err = s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last.Fitness < first.Fitness {
+		t.Fatalf("search regressed: %v -> %v", first.Fitness, last.Fitness)
+	}
+	// Final loss must be meaningfully small on this easy function.
+	if -last.Fitness > 0.05 {
+		t.Fatalf("validation MSE %v too high", -last.Fitness)
+	}
+	t.Logf("nas: val MSE %.4f -> %.4f, best arch %v",
+		-first.Fitness, -last.Fitness, last.Layers)
+}
+
+func TestGenomeParams(t *testing.T) {
+	g := &Genome{Layers: []LayerGene{{Width: 4}}}
+	// 3→4→1: 3·4+4 + 4·1+1 = 21.
+	if p := g.Params(3, 1); p != 21 {
+		t.Fatalf("params %d", p)
+	}
+	c := g.Clone()
+	c.Layers[0].Width = 9
+	if g.Layers[0].Width == 9 {
+		t.Fatal("clone shares layer storage")
+	}
+}
+
+func TestDeterministicSearch(t *testing.T) {
+	run := func() float64 {
+		cfg := DefaultConfig()
+		cfg.TrainSteps = 50
+		s, err := NewSearch(cfg, testTask(), 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return best.Fitness
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,104 @@
+package neat
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/gene"
+)
+
+// Checkpointing: long evolutionary runs (the paper's MountainCar tail
+// reached generation 160) need save/restore of the full algorithm
+// state — genomes, species bookkeeping, id counters — not just the
+// genome list.
+
+// checkpoint is the serialized population state.
+type checkpoint struct {
+	Config        Config              `json:"config"`
+	Generation    int                 `json:"generation"`
+	NextGenomeID  int64               `json:"nextGenomeId"`
+	NextSpeciesID int                 `json:"nextSpeciesId"`
+	NextNodeID    int32               `json:"nextNodeId"`
+	Genomes       []*gene.Genome      `json:"genomes"`
+	BestEver      *gene.Genome        `json:"bestEver,omitempty"`
+	Species       []speciesCheckpoint `json:"species,omitempty"`
+}
+
+// speciesCheckpoint captures one species' identity and stagnation
+// state; membership is reconstructed by re-speciating on restore.
+type speciesCheckpoint struct {
+	ID             int          `json:"id"`
+	Representative *gene.Genome `json:"representative"`
+	BestFitness    float64      `json:"bestFitness"`
+	LastImproved   int          `json:"lastImproved"`
+	Created        int          `json:"created"`
+}
+
+// Save writes the population state as JSON. The PRNG stream is not
+// serialized: a restored run continues deterministically from the
+// restore seed, not bit-identically to the uninterrupted run.
+func (p *Population) Save(w io.Writer) error {
+	cp := checkpoint{
+		Config:        p.Config,
+		Generation:    p.Generation,
+		NextGenomeID:  p.nextGenomeID,
+		NextSpeciesID: p.nextSpeciesID,
+		NextNodeID:    p.ids.next,
+		Genomes:       p.Genomes,
+		BestEver:      p.BestEver,
+	}
+	for _, s := range p.Species {
+		cp.Species = append(cp.Species, speciesCheckpoint{
+			ID:             s.ID,
+			Representative: s.Representative,
+			BestFitness:    s.BestFitness,
+			LastImproved:   s.LastImproved,
+			Created:        s.Created,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(cp)
+}
+
+// Restore reads a checkpoint and resumes it with a fresh PRNG seeded
+// by restoreSeed.
+func Restore(r io.Reader, restoreSeed uint64) (*Population, error) {
+	var cp checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("neat: restore: %w", err)
+	}
+	if err := cp.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("neat: restore: %w", err)
+	}
+	if len(cp.Genomes) == 0 {
+		return nil, fmt.Errorf("neat: restore: checkpoint has no genomes")
+	}
+	p, err := NewPopulation(cp.Config, restoreSeed)
+	if err != nil {
+		return nil, err
+	}
+	p.Genomes = cp.Genomes
+	p.Generation = cp.Generation
+	p.nextGenomeID = cp.NextGenomeID
+	p.nextSpeciesID = cp.NextSpeciesID
+	p.BestEver = cp.BestEver
+	if cp.NextNodeID > p.ids.next {
+		p.ids.next = cp.NextNodeID
+	}
+	for _, sc := range cp.Species {
+		p.Species = append(p.Species, &Species{
+			ID:             sc.ID,
+			Representative: sc.Representative,
+			BestFitness:    sc.BestFitness,
+			LastImproved:   sc.LastImproved,
+			Created:        sc.Created,
+		})
+	}
+	for _, g := range p.Genomes {
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("neat: restore: %w", err)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,79 @@
+package neat
+
+import "repro/internal/gene"
+
+// crossover produces a child genome from two parents, parent1 being the
+// fitter (ties broken by the caller). It implements the crossover engine
+// semantics of Fig. 7:
+//
+//   - genes are aligned by key (node id / connection endpoints) — the
+//     gene-split block's alignment job;
+//   - for matching genes, each attribute is cherry-picked from one of
+//     the two parents by comparing a PRNG draw against the programmable
+//     bias (CrossoverBias, default 0.5 — attributes from the fitter
+//     parent win with that probability);
+//   - disjoint and excess genes are inherited from the fitter parent,
+//     so the child's topology equals parent1's (classic NEAT).
+//
+// One OpCrossover event is emitted per child gene, the gene-level
+// parallelism unit of Fig. 5(a).
+func (m *mutator) crossover(p1, p2 *gene.Genome, childID int64) *gene.Genome {
+	child := gene.NewGenome(childID)
+	child.Nodes = make([]gene.Gene, 0, len(p1.Nodes))
+	child.Conns = make([]gene.Gene, 0, len(p1.Conns))
+
+	for _, n1 := range p1.Nodes {
+		n := n1
+		if n2, ok := p2.Node(n1.NodeID); ok {
+			n = m.mixNode(n1, n2)
+		}
+		child.Nodes = append(child.Nodes, n)
+		m.emit(OpCrossover, n.Key())
+	}
+	for _, c1 := range p1.Conns {
+		c := c1
+		if c2, ok := p2.Conn(c1.Src, c1.Dst); ok {
+			c = m.mixConn(c1, c2)
+		}
+		child.Conns = append(child.Conns, c)
+		m.emit(OpCrossover, c.Key())
+	}
+	return child
+}
+
+// pick1 reports whether the attribute should come from the fitter
+// parent: PRNG draw compared against the crossover bias, one comparator
+// per attribute in the hardware.
+func (m *mutator) pick1() bool { return m.rnd.Float64() < m.cfg.CrossoverBias }
+
+// mixNode cherry-picks the four node attributes between homologous node
+// genes.
+func (m *mutator) mixNode(a, b gene.Gene) gene.Gene {
+	out := a
+	if !m.pick1() {
+		out.Bias = b.Bias
+	}
+	if !m.pick1() {
+		out.Response = b.Response
+	}
+	if !m.pick1() {
+		out.Activation = b.Activation
+	}
+	if !m.pick1() {
+		out.Aggregation = b.Aggregation
+	}
+	return out
+}
+
+// mixConn cherry-picks weight and enabled flag between homologous
+// connection genes.
+func (m *mutator) mixConn(a, b gene.Gene) gene.Gene {
+	out := a
+	if !m.pick1() {
+		out.Weight = b.Weight
+	}
+	if !m.pick1() {
+		out.Enabled = b.Enabled
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package neat
+
+import "repro/internal/gene"
+
+// splitKey identifies an add-node mutation site: the connection being
+// split. Two genomes splitting the same connection in the same
+// generation receive the same new node id, the innovation-reuse rule
+// that keeps structural mutations alignable during crossover.
+type splitKey struct {
+	src, dst int32
+}
+
+// idAssigner hands out node ids for structural mutations.
+//
+// The default mode keeps a global counter (neat-python semantics) with
+// per-generation reuse of ids for identical splits. The hardware-
+// faithful mode (Config.LocalNodeIDs) instead implements the Add Gene
+// engine's rule — "a node ID greater than any other node present in the
+// network" — which needs no global state and is what the chip does.
+type idAssigner struct {
+	local   bool
+	next    int32
+	bySplit map[splitKey]int32
+}
+
+func newIDAssigner(cfg *Config) *idAssigner {
+	return &idAssigner{
+		local:   cfg.LocalNodeIDs,
+		next:    int32(cfg.NumInputs + cfg.NumOutputs),
+		bySplit: make(map[splitKey]int32),
+	}
+}
+
+// newGeneration clears the per-generation split-reuse table.
+func (a *idAssigner) newGeneration() {
+	if len(a.bySplit) > 0 {
+		a.bySplit = make(map[splitKey]int32)
+	}
+}
+
+// nodeIDForSplit returns the id for a node splitting conn (src → dst) in
+// genome g.
+func (a *idAssigner) nodeIDForSplit(g *gene.Genome, src, dst int32) int32 {
+	if a.local {
+		return g.MaxNodeIDIn() + 1
+	}
+	k := splitKey{src, dst}
+	if id, ok := a.bySplit[k]; ok && !g.HasNode(id) {
+		return id
+	}
+	id := a.next
+	a.next++
+	a.bySplit[k] = id
+	return id
+}

@@ -1,0 +1,243 @@
+package neat
+
+import (
+	"repro/internal/gene"
+	"repro/internal/rng"
+)
+
+// mutator applies the NEAT mutation operators to one child genome,
+// emitting one trace event per gene-level operation. It corresponds to
+// the mutation stages of the EvE PE pipeline (perturbation engine,
+// delete gene engine, add gene engine).
+type mutator struct {
+	cfg *Config
+	rnd *rng.XorWow
+	rec Recorder
+	ids *idAssigner
+
+	generation int
+	child      int64
+	parent1    int64
+	parent2    int64
+}
+
+func (m *mutator) emit(op Op, k gene.Key) {
+	if m.rec != nil {
+		m.rec.Record(Event{
+			Generation: m.generation,
+			Child:      m.child,
+			Parent1:    m.parent1,
+			Parent2:    m.parent2,
+			Key:        k,
+			Op:         op,
+		})
+	}
+}
+
+// mutate applies, in hardware pipeline order, attribute perturbation,
+// gene deletion, and gene addition to g.
+func (m *mutator) mutate(g *gene.Genome) {
+	m.perturb(g)
+	m.deleteGenes(g)
+	m.addGenes(g)
+}
+
+// perturb walks every gene and stochastically perturbs its attributes —
+// the perturbation engine stage. One event is emitted per gene touched.
+func (m *mutator) perturb(g *gene.Genome) {
+	cfg, r := m.cfg, m.rnd
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.Type == gene.Input {
+			// Input nodes carry no evolvable attributes; they are fed
+			// directly from the observation.
+			continue
+		}
+		touched := false
+		if r.Bool(cfg.BiasMutateRate) {
+			n.Bias = clampAttr(n.Bias + r.NormFloat64()*cfg.BiasPerturbPower)
+			touched = true
+		}
+		if r.Bool(cfg.ResponseMutateRate) {
+			n.Response = clampAttr(n.Response + r.NormFloat64()*cfg.ResponsePerturbPower)
+			touched = true
+		}
+		if r.Bool(cfg.ActivationMutateRate) {
+			n.Activation = gene.Activation(r.Intn(gene.NumActivations))
+			touched = true
+		}
+		if r.Bool(cfg.AggregationMutateRate) {
+			n.Aggregation = gene.Aggregation(r.Intn(gene.NumAggregations))
+			touched = true
+		}
+		if touched {
+			m.emit(OpPerturb, n.Key())
+		}
+	}
+	for i := range g.Conns {
+		c := &g.Conns[i]
+		touched := false
+		if r.Bool(cfg.WeightMutateRate) {
+			if r.Bool(cfg.WeightReplaceRate) {
+				c.Weight = clampAttr(r.NormFloat64() * cfg.WeightInitPower)
+			} else {
+				c.Weight = clampAttr(c.Weight + r.NormFloat64()*cfg.WeightPerturbPower)
+			}
+			touched = true
+		}
+		if r.Bool(cfg.EnableMutateRate) {
+			c.Enabled = !c.Enabled
+			touched = true
+		}
+		if touched {
+			m.emit(OpPerturb, c.Key())
+		}
+	}
+}
+
+// clampAttr keeps attributes inside the hardware-representable range.
+func clampAttr(v float64) float64 {
+	const lim = gene.AttrLimit
+	if v >= lim {
+		return lim - 1.0/(1<<12)
+	}
+	if v < -lim {
+		return -lim
+	}
+	return v
+}
+
+// deleteGenes is the delete-gene engine stage: with the configured
+// probabilities, remove a hidden node (pruning its connections) or a
+// connection. Node deletions are capped per child by MaxDeletedNodes to
+// keep the genome alive, mirroring the hardware's deleted-node counter.
+func (m *mutator) deleteGenes(g *gene.Genome) {
+	cfg, r := m.cfg, m.rnd
+	deletedNodes := 0
+	if r.Bool(cfg.DeleteNodeProb) && deletedNodes < cfg.MaxDeletedNodes {
+		hidden := g.HiddenIDs()
+		if len(hidden) > 0 {
+			id := hidden[r.Intn(len(hidden))]
+			// Count the node and each pruned connection as deletion ops.
+			for _, c := range g.Conns {
+				if c.Src == id || c.Dst == id {
+					m.emit(OpDeleteConn, c.Key())
+				}
+			}
+			g.DeleteNode(id)
+			deletedNodes++
+			m.emit(OpDeleteNode, gene.Key{Kind: gene.KindNode, A: id})
+		}
+	}
+	if r.Bool(cfg.DeleteConnProb) && len(g.Conns) > 1 {
+		i := r.Intn(len(g.Conns))
+		c := g.Conns[i]
+		g.DeleteConn(c.Src, c.Dst)
+		m.emit(OpDeleteConn, c.Key())
+	}
+}
+
+// addGenes is the add-gene engine stage: with the configured
+// probabilities, split a connection with a new node, or add a fresh
+// connection between previously unconnected nodes.
+func (m *mutator) addGenes(g *gene.Genome) {
+	if m.rnd.Bool(m.cfg.AddNodeProb) {
+		m.addNode(g)
+	}
+	if m.rnd.Bool(m.cfg.AddConnProb) {
+		m.addConn(g)
+	}
+}
+
+// addNode splits a random enabled connection a→b: the connection is
+// disabled and replaced by a→n (weight 1) and n→b (original weight),
+// with n a fresh node carrying default attributes.
+func (m *mutator) addNode(g *gene.Genome) {
+	r := m.rnd
+	enabled := g.EnabledConns()
+	if len(enabled) == 0 {
+		return
+	}
+	c := enabled[r.Intn(len(enabled))]
+	id := m.ids.nodeIDForSplit(g, c.Src, c.Dst)
+	if id > gene.MaxNodeID || g.HasNode(id) {
+		return
+	}
+	n := gene.NewNode(id, gene.Hidden)
+	g.PutNode(n)
+	// Disable the split connection rather than deleting it, preserving
+	// the historical gene (classic NEAT).
+	c.Enabled = false
+	g.PutConn(c)
+	in := gene.NewConn(c.Src, id, 1.0)
+	out := gene.NewConn(id, c.Dst, c.Weight)
+	g.PutConn(in)
+	g.PutConn(out)
+	m.emit(OpAddNode, n.Key())
+	m.emit(OpAddConn, in.Key())
+	m.emit(OpAddConn, out.Key())
+}
+
+// addConn adds one new connection src→dst where src is an input or
+// hidden node, dst is a hidden or output node, the pair is not already
+// connected, and (in feed-forward mode) the edge does not close a cycle.
+func (m *mutator) addConn(g *gene.Genome) {
+	r := m.rnd
+	var srcs, dsts []int32
+	for _, n := range g.Nodes {
+		if n.Type != gene.Output {
+			srcs = append(srcs, n.NodeID)
+		}
+		if n.Type != gene.Input {
+			dsts = append(dsts, n.NodeID)
+		}
+	}
+	if len(srcs) == 0 || len(dsts) == 0 {
+		return
+	}
+	// A few random probes rather than enumerating the O(V^2) candidate
+	// set; dense genomes simply fail to add, as in neat-python.
+	for attempt := 0; attempt < 8; attempt++ {
+		src := srcs[r.Intn(len(srcs))]
+		dst := dsts[r.Intn(len(dsts))]
+		if src == dst || g.HasConn(src, dst) {
+			continue
+		}
+		if m.cfg.FeedForwardOnly && createsCycle(g, src, dst) {
+			continue
+		}
+		c := gene.NewConn(src, dst, clampAttr(r.NormFloat64()*m.cfg.WeightInitPower))
+		g.PutConn(c)
+		m.emit(OpAddConn, c.Key())
+		return
+	}
+}
+
+// createsCycle reports whether adding edge src→dst would close a cycle,
+// i.e. whether dst already reaches src through existing connections.
+func createsCycle(g *gene.Genome, src, dst int32) bool {
+	if src == dst {
+		return true
+	}
+	// Depth-first search from dst following existing edges.
+	adj := make(map[int32][]int32, len(g.Nodes))
+	for _, c := range g.Conns {
+		adj[c.Src] = append(adj[c.Src], c.Dst)
+	}
+	stack := []int32{dst}
+	seen := map[int32]bool{dst: true}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == src {
+			return true
+		}
+		for _, next := range adj[n] {
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return false
+}

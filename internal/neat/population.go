@@ -1,0 +1,420 @@
+package neat
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gene"
+	"repro/internal/rng"
+)
+
+// Population drives the NEAT generational loop: a set of genomes, their
+// species partition, and the reproduction machinery. The caller owns the
+// evaluation half of the loop (running each genome in an environment and
+// assigning Fitness); Epoch performs selection and reproduction —
+// exactly the split between ADAM (inference) and EvE (evolution) in the
+// GeneSys SoC.
+type Population struct {
+	Config  Config
+	Genomes []*gene.Genome
+	Species []*Species
+	// Generation counts completed reproduction rounds; the initial
+	// random population is generation 0.
+	Generation int
+	// BestEver is a copy of the highest-fitness genome observed across
+	// all generations.
+	BestEver *gene.Genome
+
+	rnd           *rng.XorWow
+	ids           *idAssigner
+	rec           Recorder
+	nextGenomeID  int64
+	nextSpeciesID int
+}
+
+// NewPopulation builds the initial population: PopulationSize genomes
+// each with the minimal topology of Section III-B — input and output
+// node genes, fully connected with zero-weight connections when
+// InitialConnection is "full".
+func NewPopulation(cfg Config, seed uint64) (*Population, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Population{
+		Config: cfg,
+		rnd:    rng.New(seed),
+		ids:    newIDAssigner(&cfg),
+	}
+	p.Genomes = make([]*gene.Genome, cfg.PopulationSize)
+	for i := range p.Genomes {
+		p.Genomes[i] = p.seedGenome()
+	}
+	return p, nil
+}
+
+// seedGenome constructs one minimal-topology genome.
+func (p *Population) seedGenome() *gene.Genome {
+	cfg := &p.Config
+	g := gene.NewGenome(p.nextGenomeID)
+	p.nextGenomeID++
+	for _, id := range cfg.InputIDs() {
+		g.PutNode(gene.NewNode(id, gene.Input))
+	}
+	for _, id := range cfg.OutputIDs() {
+		n := gene.NewNode(id, gene.Output)
+		g.PutNode(n)
+	}
+	if cfg.InitialConnection == "full" {
+		for _, in := range cfg.InputIDs() {
+			for _, out := range cfg.OutputIDs() {
+				// Weights start at zero per the paper; the first
+				// perturbation round diversifies them.
+				g.PutConn(gene.NewConn(in, out, 0))
+			}
+		}
+	}
+	return g
+}
+
+// SetRecorder installs a reproduction-event recorder (op counters,
+// hardware traces). Pass nil to disable.
+func (p *Population) SetRecorder(r Recorder) { p.rec = r }
+
+// Best returns the fittest genome of the current generation.
+func (p *Population) Best() *gene.Genome {
+	var b *gene.Genome
+	for _, g := range p.Genomes {
+		if b == nil || g.Fitness > b.Fitness {
+			b = g
+		}
+	}
+	return b
+}
+
+// MeanFitness returns the current generation's mean fitness.
+func (p *Population) MeanFitness() float64 {
+	if len(p.Genomes) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, g := range p.Genomes {
+		sum += g.Fitness
+	}
+	return sum / float64(len(p.Genomes))
+}
+
+// TotalGenes returns the gene count summed over the population — the
+// Fig. 4(b) metric and, times gene.WordBytes, the genome-buffer
+// footprint of Fig. 5(b).
+func (p *Population) TotalGenes() int {
+	n := 0
+	for _, g := range p.Genomes {
+		n += g.NumGenes()
+	}
+	return n
+}
+
+// FootprintBytes is the genome-buffer SRAM footprint of the whole
+// generation.
+func (p *Population) FootprintBytes() int { return p.TotalGenes() * gene.WordBytes }
+
+// GeneComposition returns the population-wide node and connection gene
+// counts (Fig. 11(a)).
+func (p *Population) GeneComposition() (nodes, conns int) {
+	for _, g := range p.Genomes {
+		nodes += len(g.Nodes)
+		conns += len(g.Conns)
+	}
+	return nodes, conns
+}
+
+// SpeciesInfo is the per-species snapshot exposed in ReproStats.
+type SpeciesInfo struct {
+	ID          int
+	Size        int
+	BestFitness float64
+	// Age is generations since the species was founded.
+	Age int
+	// Stagnant marks species culled this round for lack of progress.
+	Stagnant bool
+}
+
+// ReproStats summarizes one reproduction round.
+type ReproStats struct {
+	Generation int
+	// NumSpecies after speciation, before reproduction.
+	NumSpecies int
+	// Species snapshots, ordered by descending best fitness.
+	Species []SpeciesInfo
+	// Offspring actually produced (== population size).
+	Offspring int
+	// Elites copied verbatim.
+	Elites int
+	// ParentUse maps parent genome id → number of children it
+	// contributed to (either slot).
+	ParentUse map[int64]int
+	// FittestParentID / FittestParentReuse report how many children the
+	// generation's fittest genome parented — the genome-level-reuse
+	// opportunity of Fig. 4(c).
+	FittestParentID    int64
+	FittestParentReuse int
+	// MaxParentReuse is the reuse of whichever parent was used most.
+	MaxParentReuse int
+}
+
+// Epoch runs selection and reproduction: speciates the evaluated
+// population, culls stagnant species, apportions offspring by shared
+// fitness, and produces the next generation through elitism, crossover
+// and mutation. Fitness values must be assigned before calling.
+func (p *Population) Epoch() (ReproStats, error) {
+	cfg := &p.Config
+	p.ids.newGeneration()
+	if gs, ok := p.rec.(GenerationStarter); ok {
+		gs.StartGeneration(p.Generation, p.Genomes)
+	}
+
+	// Track the best genome ever seen.
+	if b := p.Best(); b != nil && (p.BestEver == nil || b.Fitness > p.BestEver.Fitness) {
+		p.BestEver = b.Clone()
+	}
+
+	p.Species = speciate(p.Genomes, p.Species, cfg, p.Generation, &p.nextSpeciesID)
+	stats := ReproStats{
+		Generation: p.Generation,
+		NumSpecies: len(p.Species),
+		ParentUse:  make(map[int64]int),
+	}
+
+	survivors := p.cullStagnant()
+	if len(survivors) == 0 {
+		return stats, fmt.Errorf("neat: generation %d: all species extinct", p.Generation)
+	}
+	surviving := make(map[int]bool, len(survivors))
+	for _, s := range survivors {
+		surviving[s.ID] = true
+	}
+	for _, s := range p.Species {
+		stats.Species = append(stats.Species, SpeciesInfo{
+			ID:          s.ID,
+			Size:        len(s.Members),
+			BestFitness: s.BestFitness,
+			Age:         p.Generation - s.Created,
+			Stagnant:    !surviving[s.ID],
+		})
+	}
+	sort.Slice(stats.Species, func(i, j int) bool {
+		return stats.Species[i].BestFitness > stats.Species[j].BestFitness
+	})
+
+	quotas := p.apportion(survivors)
+	next := make([]*gene.Genome, 0, cfg.PopulationSize)
+
+	for si, s := range survivors {
+		quota := quotas[si]
+		if quota <= 0 {
+			continue
+		}
+		members := append([]*gene.Genome(nil), s.Members...)
+		sort.Slice(members, func(i, j int) bool {
+			if members[i].Fitness != members[j].Fitness {
+				return members[i].Fitness > members[j].Fitness
+			}
+			return members[i].ID < members[j].ID // deterministic tiebreak
+		})
+
+		// Elites survive unchanged.
+		for e := 0; e < cfg.Elitism && e < len(members) && quota > 0; e++ {
+			elite := members[e].Clone()
+			elite.ID = p.nextGenomeID
+			p.nextGenomeID++
+			next = append(next, elite)
+			quota--
+			stats.Elites++
+		}
+
+		// Parent pool: the top SurvivalThreshold fraction, at least one.
+		cut := int(float64(len(members))*cfg.SurvivalThreshold + 0.5)
+		if cut < 1 {
+			cut = 1
+		}
+		parents := members[:cut]
+
+		for ; quota > 0; quota-- {
+			child := p.makeChild(parents, stats.ParentUse)
+			next = append(next, child)
+		}
+	}
+
+	// Rounding in apportionment can leave the next generation short or
+	// long; trim or top up from the global parent pool.
+	for len(next) > cfg.PopulationSize {
+		next = next[:len(next)-1]
+	}
+	if len(next) < cfg.PopulationSize {
+		all := p.allParents(survivors)
+		for len(next) < cfg.PopulationSize {
+			next = append(next, p.makeChild(all, stats.ParentUse))
+		}
+	}
+
+	// Fig. 4(c) metrics: reuse of the fittest parent and the max-reused
+	// parent.
+	if b := p.Best(); b != nil {
+		stats.FittestParentID = b.ID
+		stats.FittestParentReuse = stats.ParentUse[b.ID]
+	}
+	for _, n := range stats.ParentUse {
+		if n > stats.MaxParentReuse {
+			stats.MaxParentReuse = n
+		}
+	}
+	stats.Offspring = len(next)
+
+	p.Genomes = next
+	p.Generation++
+	return stats, nil
+}
+
+// cullStagnant removes species stagnant beyond MaxStagnation, always
+// preserving at least SpeciesElitism species (the fittest ones).
+func (p *Population) cullStagnant() []*Species {
+	cfg := &p.Config
+	ordered := append([]*Species(nil), p.Species...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].BestFitness > ordered[j].BestFitness })
+	var out []*Species
+	for rank, s := range ordered {
+		if rank < cfg.SpeciesElitism || !s.Stagnant(p.Generation, cfg.MaxStagnation) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// apportion distributes PopulationSize offspring across species in
+// proportion to their mean (shared) fitness, flooring at MinSpeciesSize.
+func (p *Population) apportion(species []*Species) []int {
+	cfg := &p.Config
+	means := make([]float64, len(species))
+	minMean := means[0]
+	for i, s := range species {
+		means[i] = s.MeanAdjustedFitness()
+		if i == 0 || means[i] < minMean {
+			minMean = means[i]
+		}
+	}
+	// Shift to non-negative and add a floor so zero-fitness species
+	// still reproduce.
+	var total float64
+	for i := range means {
+		means[i] = means[i] - minMean + 1e-9
+		total += means[i]
+	}
+	quotas := make([]int, len(species))
+	assigned := 0
+	for i := range species {
+		q := int(float64(cfg.PopulationSize) * means[i] / total)
+		if q < cfg.MinSpeciesSize {
+			q = cfg.MinSpeciesSize
+		}
+		quotas[i] = q
+		assigned += q
+	}
+	// Normalize to exactly PopulationSize by trimming the largest /
+	// growing the smallest quotas.
+	for assigned > cfg.PopulationSize {
+		maxI := 0
+		for i, q := range quotas {
+			if q > quotas[maxI] {
+				maxI = i
+			}
+		}
+		if quotas[maxI] <= cfg.MinSpeciesSize {
+			break
+		}
+		quotas[maxI]--
+		assigned--
+	}
+	for assigned < cfg.PopulationSize {
+		minI := 0
+		for i, q := range quotas {
+			if q < quotas[minI] {
+				minI = i
+			}
+		}
+		quotas[minI]++
+		assigned++
+	}
+	return quotas
+}
+
+// allParents concatenates every species' survivor pool.
+func (p *Population) allParents(species []*Species) []*gene.Genome {
+	var out []*gene.Genome
+	for _, s := range species {
+		members := append([]*gene.Genome(nil), s.Members...)
+		sort.Slice(members, func(i, j int) bool { return members[i].Fitness > members[j].Fitness })
+		cut := int(float64(len(members))*p.Config.SurvivalThreshold + 0.5)
+		if cut < 1 {
+			cut = 1
+		}
+		out = append(out, members[:cut]...)
+	}
+	return out
+}
+
+// pickParent selects a parent by tournament: the fittest of
+// TournamentSize uniform draws (size ≤ 1 degenerates to uniform).
+func (p *Population) pickParent(parents []*gene.Genome) *gene.Genome {
+	best := parents[p.rnd.Intn(len(parents))]
+	for t := 1; t < p.Config.TournamentSize; t++ {
+		c := parents[p.rnd.Intn(len(parents))]
+		if c.Fitness > best.Fitness {
+			best = c
+		}
+	}
+	return best
+}
+
+// makeChild produces one offspring from the parent pool: crossover with
+// probability CrossoverRate (fitter parent first), otherwise a clone of
+// a single parent; then the mutation pipeline.
+func (p *Population) makeChild(parents []*gene.Genome, use map[int64]int) *gene.Genome {
+	cfg := &p.Config
+	childID := p.nextGenomeID
+	p.nextGenomeID++
+
+	p1 := p.pickParent(parents)
+	m := &mutator{
+		cfg:        cfg,
+		rnd:        p.rnd,
+		rec:        p.rec,
+		ids:        p.ids,
+		generation: p.Generation,
+		child:      childID,
+		parent1:    p1.ID,
+		parent2:    -1,
+	}
+
+	var child *gene.Genome
+	if len(parents) > 1 && p.rnd.Bool(cfg.CrossoverRate) {
+		p2 := p.pickParent(parents)
+		for p2 == p1 {
+			p2 = parents[p.rnd.Intn(len(parents))]
+		}
+		if p2.Fitness > p1.Fitness {
+			p1, p2 = p2, p1
+		}
+		m.parent1, m.parent2 = p1.ID, p2.ID
+		child = m.crossover(p1, p2, childID)
+		use[p2.ID]++
+	} else {
+		child = p1.Clone()
+		child.ID = childID
+		child.Fitness = 0
+	}
+	use[p1.ID]++
+
+	m.mutate(child)
+	child.Fitness = 0
+	return child
+}

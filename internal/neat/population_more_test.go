@@ -1,0 +1,120 @@
+package neat
+
+import (
+	"testing"
+
+	"repro/internal/gene"
+)
+
+// TestApportionExactlyPopulation checks the quota normalization across
+// skewed fitness distributions.
+func TestApportionExactlyPopulation(t *testing.T) {
+	cfg := testConfig()
+	p, _ := NewPopulation(cfg, 3)
+	species := []*Species{
+		{ID: 1, Members: manyGenomes(10, 100)},
+		{ID: 2, Members: manyGenomes(5, 0.001)},
+		{ID: 3, Members: manyGenomes(2, -50)},
+	}
+	quotas := p.apportion(species)
+	total := 0
+	for i, q := range quotas {
+		if q < cfg.MinSpeciesSize {
+			t.Fatalf("species %d quota %d below floor", i, q)
+		}
+		total += q
+	}
+	if total != cfg.PopulationSize {
+		t.Fatalf("quotas sum to %d, want %d", total, cfg.PopulationSize)
+	}
+	// The fittest species gets the largest share.
+	if quotas[0] <= quotas[2] {
+		t.Fatalf("fitness-proportional apportionment broken: %v", quotas)
+	}
+}
+
+func manyGenomes(n int, fitness float64) []*gene.Genome {
+	out := make([]*gene.Genome, n)
+	for i := range out {
+		g := gene.NewGenome(int64(i))
+		g.Fitness = fitness
+		out[i] = g
+	}
+	return out
+}
+
+// TestCullPreservesEliteSpecies: even fully stagnant populations keep
+// SpeciesElitism species alive.
+func TestCullPreservesEliteSpecies(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxStagnation = 1
+	cfg.SpeciesElitism = 2
+	p, _ := NewPopulation(cfg, 5)
+	p.Generation = 100 // far beyond every species' LastImproved
+	p.Species = []*Species{
+		{ID: 1, BestFitness: 5, LastImproved: 0, Members: manyGenomes(3, 5)},
+		{ID: 2, BestFitness: 9, LastImproved: 0, Members: manyGenomes(3, 9)},
+		{ID: 3, BestFitness: 1, LastImproved: 0, Members: manyGenomes(3, 1)},
+	}
+	out := p.cullStagnant()
+	if len(out) != 2 {
+		t.Fatalf("culled to %d species, elitism is 2", len(out))
+	}
+	// The two fittest survive.
+	ids := map[int]bool{}
+	for _, s := range out {
+		ids[s.ID] = true
+	}
+	if !ids[2] || !ids[1] {
+		t.Fatalf("wrong survivors: %v", ids)
+	}
+}
+
+// TestEpochSurvivesSingleGenomePool exercises the degenerate pool path
+// (one parent, clone-only children).
+func TestEpochSurvivesSingleGenomePool(t *testing.T) {
+	cfg := testConfig()
+	cfg.PopulationSize = 4
+	cfg.SurvivalThreshold = 0.01 // pool collapses to a single parent
+	p, _ := NewPopulation(cfg, 9)
+	for _, g := range p.Genomes {
+		g.Fitness = 1
+	}
+	if _, err := p.Epoch(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Genomes) != 4 {
+		t.Fatalf("population %d", len(p.Genomes))
+	}
+}
+
+func BenchmarkEpochCartpoleScale(b *testing.B) {
+	cfg := DefaultConfig(4, 1)
+	cfg.PopulationSize = 150
+	p, err := NewPopulation(cfg, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, g := range p.Genomes {
+			g.Fitness = float64((i + j) % 13)
+		}
+		if _, err := p.Epoch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompatDistanceRAMScale(b *testing.B) {
+	cfg := DefaultConfig(128, 18)
+	p, err := NewPopulation(cfg, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, c := p.Genomes[0], p.Genomes[1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CompatDistance(a, c, &cfg)
+	}
+}

@@ -1,0 +1,200 @@
+package neat
+
+import (
+	"math"
+
+	"repro/internal/gene"
+)
+
+// CompatDistance computes the NEAT compatibility distance between two
+// genomes:
+//
+//	δ = c_d · U/N + c_w · W̄
+//
+// where U is the number of unmatched (disjoint or excess) genes, N the
+// size of the larger genome, and W̄ the mean attribute distance of
+// matching genes. Matching is by key, following neat-python. This is the
+// niche metric behind speciation (Section II-D).
+func CompatDistance(a, b *gene.Genome, cfg *Config) float64 {
+	if a.NumGenes() == 0 && b.NumGenes() == 0 {
+		return 0
+	}
+	var unmatched int
+	var attrDist float64
+	var matched int
+
+	for _, n1 := range a.Nodes {
+		if n2, ok := b.Node(n1.NodeID); ok {
+			attrDist += nodeDistance(n1, n2)
+			matched++
+		} else {
+			unmatched++
+		}
+	}
+	for _, n2 := range b.Nodes {
+		if !a.HasNode(n2.NodeID) {
+			unmatched++
+		}
+	}
+	for _, c1 := range a.Conns {
+		if c2, ok := b.Conn(c1.Src, c1.Dst); ok {
+			attrDist += connDistance(c1, c2)
+			matched++
+		} else {
+			unmatched++
+		}
+	}
+	for _, c2 := range b.Conns {
+		if !a.HasConn(c2.Src, c2.Dst) {
+			unmatched++
+		}
+	}
+
+	n := a.NumGenes()
+	if b.NumGenes() > n {
+		n = b.NumGenes()
+	}
+	if n == 0 {
+		n = 1
+	}
+	d := cfg.CompatDisjointCoeff * float64(unmatched) / float64(n)
+	if matched > 0 {
+		d += cfg.CompatWeightCoeff * attrDist / float64(matched)
+	}
+	return d
+}
+
+// nodeDistance is the attribute distance of two homologous node genes
+// (neat-python's node gene distance).
+func nodeDistance(a, b gene.Gene) float64 {
+	d := math.Abs(a.Bias-b.Bias) + math.Abs(a.Response-b.Response)
+	if a.Activation != b.Activation {
+		d++
+	}
+	if a.Aggregation != b.Aggregation {
+		d++
+	}
+	return d
+}
+
+// connDistance is the attribute distance of two homologous connection
+// genes.
+func connDistance(a, b gene.Gene) float64 {
+	d := math.Abs(a.Weight - b.Weight)
+	if a.Enabled != b.Enabled {
+		d++
+	}
+	return d
+}
+
+// Species is a niche of structurally similar genomes sharing fitness.
+type Species struct {
+	ID             int
+	Representative *gene.Genome
+	Members        []*gene.Genome
+
+	// BestFitness is the best raw fitness the species ever achieved;
+	// LastImproved is the generation it last rose — the stagnation
+	// inputs.
+	BestFitness  float64
+	LastImproved int
+	Created      int
+}
+
+// Stagnant reports whether the species has gone maxStagnation
+// generations without improving.
+func (s *Species) Stagnant(generation, maxStagnation int) bool {
+	return generation-s.LastImproved > maxStagnation
+}
+
+// MeanAdjustedFitness returns the fitness-sharing value: the species'
+// mean member fitness. Sharing by species size is implicit — a species'
+// reproduction quota is proportional to its mean, not its sum, so large
+// species do not swamp small ones and young topological innovations
+// survive long enough to optimize (the paper's "fitness sharing").
+func (s *Species) MeanAdjustedFitness() float64 {
+	if len(s.Members) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, m := range s.Members {
+		sum += m.Fitness
+	}
+	return sum / float64(len(s.Members))
+}
+
+// best returns the fittest member, or nil for an empty species.
+func (s *Species) best() *gene.Genome {
+	var b *gene.Genome
+	for _, m := range s.Members {
+		if b == nil || m.Fitness > b.Fitness {
+			b = m
+		}
+	}
+	return b
+}
+
+// speciate partitions genomes into species. Existing species keep their
+// identity via representatives; genomes join the first species whose
+// representative is within the compatibility threshold, and found new
+// species otherwise. Representatives are refreshed to the member closest
+// to the previous representative (neat-python semantics).
+func speciate(genomes []*gene.Genome, prev []*Species, cfg *Config, generation int, nextSpeciesID *int) []*Species {
+	species := make([]*Species, 0, len(prev))
+	for _, s := range prev {
+		species = append(species, &Species{
+			ID:             s.ID,
+			Representative: s.Representative,
+			BestFitness:    s.BestFitness,
+			LastImproved:   s.LastImproved,
+			Created:        s.Created,
+		})
+	}
+
+	for _, g := range genomes {
+		placed := false
+		bestIdx, bestDist := -1, math.Inf(1)
+		for i, s := range species {
+			d := CompatDistance(g, s.Representative, cfg)
+			if d < cfg.CompatThreshold && d < bestDist {
+				bestIdx, bestDist = i, d
+				placed = true
+			}
+		}
+		if placed {
+			species[bestIdx].Members = append(species[bestIdx].Members, g)
+			continue
+		}
+		*nextSpeciesID++
+		species = append(species, &Species{
+			ID:             *nextSpeciesID,
+			Representative: g,
+			Members:        []*gene.Genome{g},
+			LastImproved:   generation,
+			Created:        generation,
+		})
+	}
+
+	// Drop species that attracted no members, refresh representatives,
+	// and update stagnation state.
+	alive := species[:0]
+	for _, s := range species {
+		if len(s.Members) == 0 {
+			continue
+		}
+		closest, closestDist := s.Members[0], math.Inf(1)
+		for _, m := range s.Members {
+			d := CompatDistance(m, s.Representative, cfg)
+			if d < closestDist {
+				closest, closestDist = m, d
+			}
+		}
+		s.Representative = closest
+		if b := s.best(); b != nil && b.Fitness > s.BestFitness {
+			s.BestFitness = b.Fitness
+			s.LastImproved = generation
+		}
+		alive = append(alive, s)
+	}
+	return alive
+}

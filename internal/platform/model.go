@@ -1,0 +1,190 @@
+package platform
+
+import "math"
+
+// GenWorkload is the per-generation activity a platform is charged for,
+// extracted from a real evolution run (package evolve) so every
+// platform — and the GeneSys model — prices exactly the same work.
+type GenWorkload struct {
+	// Population is the genome count.
+	Population int
+	// GeneOps is the crossover+mutation gene-op total of reproduction.
+	GeneOps int64
+	// TotalGenes is the population's gene count (×8 B = genome bytes).
+	TotalGenes int
+	// EnvSteps is the total environment steps across the population.
+	EnvSteps int64
+	// MaxSteps is the longest episode (the number of lock-step
+	// inference rounds a PLP implementation executes).
+	MaxSteps int
+	// InferenceMACs is the useful MAC total of the evaluation phase.
+	InferenceMACs int64
+	// VertexUpdates is the vertex-evaluation total.
+	VertexUpdates int64
+	// ObsSize and ActSize are the per-step transfer widths.
+	ObsSize, ActSize int
+	// MeanNodes and MaxNodes describe genome vertex counts (sparse
+	// tensor sizing for the BSP+PLP GPU implementation).
+	MeanNodes, MaxNodes int
+	// MaxNodeID is the largest node id in the population. NEAT never
+	// reuses ids, so the uncompacted tensors of the BSP+PLP GPU
+	// implementation — which index by node id — are padded to this
+	// dimension, far beyond any genome's live node count. This is what
+	// makes the GPU_b footprint ~100× GeneSys's (Fig. 10d).
+	MaxNodeID int
+}
+
+// sparseDim is the padded tensor dimension of the BSP+PLP GPU
+// implementation.
+func (w GenWorkload) sparseDim() float64 {
+	if w.MaxNodeID > w.MaxNodes {
+		return float64(w.MaxNodeID)
+	}
+	return float64(w.MaxNodes)
+}
+
+// meanGenomeGenes is the average genes per genome.
+func (w GenWorkload) meanGenomeGenes() float64 {
+	if w.Population == 0 {
+		return 0
+	}
+	return float64(w.TotalGenes) / float64(w.Population)
+}
+
+// Report prices one generation on one platform.
+type Report struct {
+	Legend string
+
+	InferenceSeconds float64
+	EvolutionSeconds float64
+	InferenceEnergyJ float64
+	EvolutionEnergyJ float64
+
+	// Inference time split (Fig. 10a/b): host→device copies,
+	// device→host copies, and kernel execution. Zero on CPUs.
+	MemcpyHtoDSeconds float64
+	MemcpyDtoHSeconds float64
+	KernelSeconds     float64
+
+	// FootprintBytes is the device-resident working set (Fig. 10d).
+	FootprintBytes int64
+}
+
+// MemcpyFraction is the share of inference time spent in transfers —
+// ~70% for GPU_a and ~20% for GPU_b in the paper.
+func (r Report) MemcpyFraction() float64 {
+	if r.InferenceSeconds == 0 {
+		return 0
+	}
+	return (r.MemcpyHtoDSeconds + r.MemcpyDtoHSeconds) / r.InferenceSeconds
+}
+
+// Run prices the generation on this configuration.
+func (s Spec) Run(w GenWorkload) Report {
+	r := Report{Legend: s.Legend}
+	if s.Device.IsGPU {
+		s.gpuInference(w, &r)
+	} else {
+		s.cpuInference(w, &r)
+	}
+	s.evolution(w, &r)
+	r.InferenceEnergyJ = r.InferenceSeconds * s.Device.PowerW
+	r.EvolutionEnergyJ = r.EvolutionSeconds * s.Device.PowerW
+	return r
+}
+
+// cpuInference charges the software DAG evaluation; PLP divides by the
+// measured multithreading speedup.
+func (s Spec) cpuInference(w GenWorkload, r *Report) {
+	d := s.Device
+	ns := float64(w.InferenceMACs)*d.MACNS + float64(w.VertexUpdates)*d.VertexNS
+	if s.Inference == PLP {
+		speedup := float64(d.Threads) * d.ThreadEff
+		ns /= speedup
+	}
+	r.InferenceSeconds = ns * 1e-9
+	// Working set: one compact network at a time per thread.
+	r.FootprintBytes = int64(w.meanGenomeGenes()) * 8
+	if s.Inference == PLP {
+		r.FootprintBytes *= int64(s.Device.Threads)
+	}
+}
+
+// gpuInference charges the two GPU implementations of Section VI-B.
+func (s Spec) gpuInference(w GenWorkload, r *Report) {
+	d := s.Device
+	switch s.Inference {
+	case BSP:
+		// GPU_a: one genome at a time. Per genome-step: host-side
+		// compaction of the input vector, HtoD of the compact
+		// vectors, a kernel over that genome's vertices, DtoH of the
+		// outputs. The per-transfer latencies dominate for the tiny
+		// matrices NEAT produces — the 70%-memcpy profile of Fig. 10a.
+		perStepMACs := 0.0
+		if w.EnvSteps > 0 {
+			perStepMACs = float64(w.InferenceMACs) / float64(w.EnvSteps)
+		}
+		vecBytes := float64(w.MeanNodes) * 4
+		htod := d.MemcpyLatUS*1e-6 + vecBytes/(d.MemcpyGBps*1e9)
+		dtoh := d.MemcpyLatUS*1e-6 + float64(w.ActSize)*4/(d.MemcpyGBps*1e9)
+		kernel := d.KernelLaunchUS*1e-6 + perStepMACs*d.GPUMACNS*1e-9
+		// Serial host-side packing of the ready node values into the
+		// input vector, per genome-step.
+		compaction := float64(w.MeanNodes) * d.CompactionNS * 1e-9
+
+		n := float64(w.EnvSteps) // one of each per genome-step
+		r.MemcpyHtoDSeconds = htod * n
+		r.MemcpyDtoHSeconds = dtoh * n
+		r.KernelSeconds = (kernel + compaction) * n
+		// Device holds one genome's compact matrices at a time.
+		r.FootprintBytes = int64((w.meanGenomeGenes() + float64(w.MeanNodes)) * 4)
+
+	case BSPPLP:
+		// GPU_b: all genomes' vertices in parallel. Inputs and weights
+		// can no longer be compacted, so the device holds tensors
+		// padded to the node-id space for the whole population (the
+		// 100× footprint of Fig. 10d) and the memory-bound kernels
+		// multiply through the zeros. Per lock-step round: batched
+		// HtoD of all observations, one kernel, batched DtoH of all
+		// actions.
+		dim := w.sparseDim()
+		padded := float64(w.Population) * dim * dim
+		rounds := float64(w.MaxSteps)
+		obsBytes := float64(w.Population*w.ObsSize) * 4
+		actBytes := float64(w.Population*w.ActSize) * 4
+		htod := d.MemcpyLatUS*1e-6 + obsBytes/(d.MemcpyGBps*1e9)
+		dtoh := d.MemcpyLatUS*1e-6 + actBytes/(d.MemcpyGBps*1e9)
+		kernel := d.KernelLaunchUS*1e-6 + padded*d.GPUSparseMACNS*1e-9
+
+		r.MemcpyHtoDSeconds = htod * rounds
+		r.MemcpyDtoHSeconds = dtoh * rounds
+		r.KernelSeconds = kernel * rounds
+		// Weights shipped once per generation.
+		weightBytes := padded * 4
+		r.MemcpyHtoDSeconds += d.MemcpyLatUS*1e-6 + weightBytes/(d.MemcpyGBps*1e9)
+		// Weights + input/activation tensors resident.
+		r.FootprintBytes = int64(weightBytes * 2)
+	}
+	r.InferenceSeconds = r.MemcpyHtoDSeconds + r.MemcpyDtoHSeconds + r.KernelSeconds
+}
+
+// evolution charges reproduction.
+func (s Spec) evolution(w GenWorkload, r *Report) {
+	d := s.Device
+	switch {
+	case !d.IsGPU:
+		// Software reproduction is serial on the CPUs (Table III).
+		r.EvolutionSeconds = float64(w.GeneOps) * d.GeneOpNS * 1e-9
+	default:
+		// PLP on the GPU: ship the parent genomes, run the
+		// reproduction kernels, ship the children back. Gene ops are
+		// branchy and divergent, so the effective rate is far below
+		// the device's MAC throughput.
+		genomeBytes := float64(w.TotalGenes) * 8
+		copyTime := 2 * (d.MemcpyLatUS*1e-6 + genomeBytes/(d.MemcpyGBps*1e9))
+		kernels := math.Ceil(float64(w.Population) / 1024) // one block per child
+		kernel := kernels*d.KernelLaunchUS*1e-6 +
+			float64(w.GeneOps)*d.GPUGeneOpNS*1e-9
+		r.EvolutionSeconds = copyTime + kernel
+	}
+}

@@ -1,0 +1,215 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+// cartpoleGen approximates a CartPole generation's aggregates.
+func cartpoleGen() GenWorkload {
+	return GenWorkload{
+		Population:    150,
+		GeneOps:       6000,
+		TotalGenes:    1800,
+		EnvSteps:      150 * 150,
+		MaxSteps:      200,
+		InferenceMACs: 150 * 150 * 8,
+		VertexUpdates: 150 * 150 * 3,
+		ObsSize:       4, ActSize: 1,
+		MeanNodes: 7, MaxNodes: 10, MaxNodeID: 40,
+	}
+}
+
+// atariGen approximates an Alien-ram generation's aggregates.
+func atariGen() GenWorkload {
+	return GenWorkload{
+		Population:    150,
+		GeneOps:       150000,
+		TotalGenes:    150 * 2450,
+		EnvSteps:      150 * 300,
+		MaxSteps:      300,
+		InferenceMACs: 150 * 300 * 2300,
+		VertexUpdates: 150 * 300 * 150,
+		ObsSize:       128, ActSize: 18,
+		MeanNodes: 146, MaxNodes: 170, MaxNodeID: 400,
+	}
+}
+
+func TestTableIIIComplete(t *testing.T) {
+	specs := TableIII()
+	if len(specs) != 8 {
+		t.Fatalf("%d configurations", len(specs))
+	}
+	want := map[string][2]ExecMode{
+		"CPU_a": {Serial, Serial}, "CPU_b": {PLP, Serial},
+		"GPU_a": {BSP, PLP}, "GPU_b": {BSPPLP, PLP},
+		"CPU_c": {Serial, Serial}, "CPU_d": {PLP, Serial},
+		"GPU_c": {BSP, PLP}, "GPU_d": {BSPPLP, PLP},
+	}
+	for _, s := range specs {
+		modes, ok := want[s.Legend]
+		if !ok {
+			t.Fatalf("unexpected legend %s", s.Legend)
+		}
+		if s.Inference != modes[0] || s.Evolution != modes[1] {
+			t.Fatalf("%s modes %s/%s", s.Legend, s.Inference, s.Evolution)
+		}
+	}
+	if _, err := ByLegend("GPU_a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByLegend("TPU_a"); err == nil {
+		t.Fatal("unknown legend accepted")
+	}
+}
+
+func TestPLPSpeedsUpCPUInference(t *testing.T) {
+	w := cartpoleGen()
+	a, _ := ByLegend("CPU_a")
+	b, _ := ByLegend("CPU_b")
+	ra, rb := a.Run(w), b.Run(w)
+	speedup := ra.InferenceSeconds / rb.InferenceSeconds
+	if math.Abs(speedup-3.5) > 0.01 {
+		t.Fatalf("PLP speedup %.2f, paper measured 3.5", speedup)
+	}
+	// Evolution stays serial, identical on both.
+	if ra.EvolutionSeconds != rb.EvolutionSeconds {
+		t.Fatal("evolution should be serial on both CPU configs")
+	}
+}
+
+func TestEmbeddedSlowerThanDesktop(t *testing.T) {
+	w := atariGen()
+	for _, pair := range [][2]string{{"CPU_a", "CPU_c"}, {"GPU_a", "GPU_c"}} {
+		d, _ := ByLegend(pair[0])
+		e, _ := ByLegend(pair[1])
+		rd, re := d.Run(w), e.Run(w)
+		if re.InferenceSeconds <= rd.InferenceSeconds {
+			t.Fatalf("%s inference not slower than %s", pair[1], pair[0])
+		}
+		if re.EvolutionSeconds <= rd.EvolutionSeconds {
+			t.Fatalf("%s evolution not slower than %s", pair[1], pair[0])
+		}
+	}
+}
+
+func TestDesktopBurnsMoreEnergyThanEmbedded(t *testing.T) {
+	w := cartpoleGen()
+	a, _ := ByLegend("CPU_a")
+	c, _ := ByLegend("CPU_c")
+	ra, rc := a.Run(w), c.Run(w)
+	// The i7 is faster but at 45 W vs 5 W it still spends more energy
+	// per generation on this codebase (5× slower embedded vs 9× power).
+	if ra.EvolutionEnergyJ <= rc.EvolutionEnergyJ {
+		t.Fatalf("desktop evolution energy %.3g not above embedded %.3g",
+			ra.EvolutionEnergyJ, rc.EvolutionEnergyJ)
+	}
+}
+
+func TestGPUAMemcpyDominates(t *testing.T) {
+	w := cartpoleGen()
+	ga, _ := ByLegend("GPU_a")
+	r := ga.Run(w)
+	f := r.MemcpyFraction()
+	// Paper: ~70% of GPU_a inference time is memory transfer.
+	if f < 0.55 || f > 0.85 {
+		t.Fatalf("GPU_a memcpy fraction %.2f, paper ~0.70", f)
+	}
+}
+
+func TestGPUBMemcpyModest(t *testing.T) {
+	w := atariGen()
+	gb, _ := ByLegend("GPU_b")
+	r := gb.Run(w)
+	f := r.MemcpyFraction()
+	// Paper: ~20% for GPU_b.
+	if f < 0.05 || f > 0.45 {
+		t.Fatalf("GPU_b memcpy fraction %.2f, paper ~0.20", f)
+	}
+	ga, _ := ByLegend("GPU_a")
+	if ga.Run(w).MemcpyFraction() <= f {
+		t.Fatal("GPU_a should spend relatively more time in memcpy than GPU_b")
+	}
+}
+
+func TestGPUBFasterThanGPUAOnInference(t *testing.T) {
+	w := atariGen()
+	ga, _ := ByLegend("GPU_a")
+	gb, _ := ByLegend("GPU_b")
+	if gb.Run(w).InferenceSeconds >= ga.Run(w).InferenceSeconds {
+		t.Fatal("batched GPU_b not faster than per-genome GPU_a")
+	}
+}
+
+func TestFootprintOrdering(t *testing.T) {
+	// Fig. 10d: GPU_a (compact, one genome) ≪ GeneSys (population of
+	// genomes) ≪ GPU_b (padded sparse tensors for the population).
+	for _, w := range []GenWorkload{cartpoleGen(), atariGen()} {
+		ga, _ := ByLegend("GPU_a")
+		gb, _ := ByLegend("GPU_b")
+		fa := ga.Run(w).FootprintBytes
+		fb := gb.Run(w).FootprintBytes
+		genesys := int64(w.TotalGenes) * 8
+		if !(fa < genesys && genesys < fb) {
+			t.Fatalf("footprint ordering broken: GPU_a=%d GeneSys=%d GPU_b=%d",
+				fa, genesys, fb)
+		}
+		if fb/genesys < 10 {
+			t.Fatalf("GPU_b only %d× GeneSys footprint", fb/genesys)
+		}
+	}
+}
+
+func TestEnergyIsTimeTimesPower(t *testing.T) {
+	w := cartpoleGen()
+	for _, s := range TableIII() {
+		r := s.Run(w)
+		wantInf := r.InferenceSeconds * s.Device.PowerW
+		if math.Abs(r.InferenceEnergyJ-wantInf) > 1e-12 {
+			t.Fatalf("%s: inference energy %v, want %v", s.Legend, r.InferenceEnergyJ, wantInf)
+		}
+		if r.InferenceSeconds <= 0 || r.EvolutionSeconds <= 0 {
+			t.Fatalf("%s: degenerate times %+v", s.Legend, r)
+		}
+	}
+}
+
+func TestDQNTableII(t *testing.T) {
+	d := DefaultDQN()
+	// "3M MAC ops in forward pass".
+	if d.ForwardMACs() < 2_500_000 || d.ForwardMACs() > 4_000_000 {
+		t.Fatalf("DQN forward MACs %d, paper ~3M", d.ForwardMACs())
+	}
+	// "50 MB for replay memory of 100 entries".
+	if d.ReplayBytes() != 100*500*1024 {
+		t.Fatalf("replay bytes %d", d.ReplayBytes())
+	}
+	// "4 MB for parameters and activation" (order of magnitude).
+	pa := d.ParamActivationBytes()
+	if pa < 2<<20 || pa > 32<<20 {
+		t.Fatalf("param+activation bytes %d", pa)
+	}
+
+	tab := CompareDQN(d, atariGen())
+	// Table II: EA inference ~115K MACs vs DQN 3M (≈26×); EA memory
+	// <1MB vs DQN >50MB.
+	if tab.EAInferenceMACs >= tab.DQNForwardMACs {
+		t.Fatal("EA inference not below DQN forward pass")
+	}
+	if tab.ComputeRatio() < 5 {
+		t.Fatalf("DQN/EA compute ratio only %.1f", tab.ComputeRatio())
+	}
+	if tab.MemoryRatio() < 10 {
+		t.Fatalf("DQN/EA memory ratio only %.1f", tab.MemoryRatio())
+	}
+	if tab.EAMemoryBytes >= 4<<20 {
+		t.Fatalf("EA generation footprint %d ≥ 4 MB", tab.EAMemoryBytes)
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s, _ := ByLegend("GPU_b")
+	if s.String() == "" {
+		t.Fatal("empty spec string")
+	}
+}

@@ -1,0 +1,127 @@
+// Package platform provides analytic cost models of the CPU and GPU
+// baselines the paper measures GeneSys against (Table III): desktop
+// (Intel i7 / GTX 1080) and embedded (ARM Cortex A57 / Tegra, both on
+// the Jetson TX2) devices running the optimized NEAT implementations.
+//
+// The paper instruments physical machines (Intel Power Gadget, INA3221,
+// nvidia-smi, nvprof). None of that hardware exists here, so each
+// platform is an explicit charge model: software gene-ops and MACs cost
+// device-dependent time, GPU work pays kernel-launch and PCIe/memcpy
+// overheads, and energy is time × device power. The constants are
+// calibrated so the relative orderings and rough factors the paper
+// reports (Fig. 9, Fig. 10) hold; absolute values are model outputs,
+// not measurements.
+package platform
+
+import "fmt"
+
+// ExecMode describes how a phase is parallelized (the legend of
+// Table III).
+type ExecMode string
+
+// Execution modes from Table III.
+const (
+	Serial ExecMode = "serial"
+	PLP    ExecMode = "plp"     // population-level parallelism
+	BSP    ExecMode = "bsp"     // bulk-synchronous (GPU), GLP only
+	BSPPLP ExecMode = "bsp+plp" // GPU exploiting GLP and PLP together
+)
+
+// Device holds the physical-device constants of one platform.
+type Device struct {
+	Name string
+	// PowerW is the active power while running the workload.
+	PowerW float64
+	// IsGPU selects the GPU charge model.
+	IsGPU bool
+
+	// CPU model: effective per-operation times for the optimized
+	// host implementation (interpreter + runtime overheads included,
+	// matching the paper's NEAT-python-derived codebase).
+	GeneOpNS float64 // one crossover/mutation gene op
+	MACNS    float64 // one multiply-accumulate in inference
+	VertexNS float64 // per-vertex-update bookkeeping
+	// Threads and ThreadEff bound PLP speedup on CPUs (the paper
+	// measured 3.5× from 4 threads).
+	Threads   int
+	ThreadEff float64
+
+	// GPU model.
+	GPUMACNS       float64 // per-MAC time in compact (compute-bound) kernels
+	GPUSparseMACNS float64 // per-element time in padded sparse kernels (memory-bound)
+	GPUGeneOpNS    float64 // effective per-gene-op time (divergent code)
+	KernelLaunchUS float64 // per-kernel launch latency
+	MemcpyLatUS    float64 // per-transfer fixed latency
+	MemcpyGBps     float64 // transfer bandwidth
+	CompactionNS   float64 // host-side per-gene compaction time (GPU_a)
+}
+
+// The four physical devices of the evaluation.
+var (
+	// DesktopCPU is the 6th-gen Intel i7.
+	DesktopCPU = Device{
+		Name: "i7-6700", PowerW: 45,
+		GeneOpNS: 900, MACNS: 45, VertexNS: 250,
+		Threads: 4, ThreadEff: 0.875,
+	}
+	// EmbeddedCPU is the ARM Cortex A57 on the Jetson TX2.
+	EmbeddedCPU = Device{
+		Name: "cortex-a57", PowerW: 5,
+		GeneOpNS: 4500, MACNS: 220, VertexNS: 1200,
+		Threads: 4, ThreadEff: 0.875,
+	}
+	// DesktopGPU is the NVIDIA GTX 1080.
+	DesktopGPU = Device{
+		Name: "gtx1080", PowerW: 180, IsGPU: true,
+		GPUMACNS: 0.0005, GPUSparseMACNS: 0.0125, GPUGeneOpNS: 5,
+		KernelLaunchUS: 10, MemcpyLatUS: 20, MemcpyGBps: 10,
+		CompactionNS: 100,
+	}
+	// EmbeddedGPU is the NVIDIA Tegra (Pascal) on the Jetson TX2.
+	EmbeddedGPU = Device{
+		Name: "tegra", PowerW: 10, IsGPU: true,
+		GPUMACNS: 0.004, GPUSparseMACNS: 0.08, GPUGeneOpNS: 50,
+		KernelLaunchUS: 25, MemcpyLatUS: 35, MemcpyGBps: 5,
+		CompactionNS: 500,
+	}
+)
+
+// Spec is one Table III configuration: a device plus the execution
+// modes of the two phases.
+type Spec struct {
+	Legend    string
+	Device    Device
+	Inference ExecMode
+	Evolution ExecMode
+}
+
+// TableIII returns the eight baseline configurations in the paper's
+// order.
+func TableIII() []Spec {
+	return []Spec{
+		{Legend: "CPU_a", Device: DesktopCPU, Inference: Serial, Evolution: Serial},
+		{Legend: "CPU_b", Device: DesktopCPU, Inference: PLP, Evolution: Serial},
+		{Legend: "GPU_a", Device: DesktopGPU, Inference: BSP, Evolution: PLP},
+		{Legend: "GPU_b", Device: DesktopGPU, Inference: BSPPLP, Evolution: PLP},
+		{Legend: "CPU_c", Device: EmbeddedCPU, Inference: Serial, Evolution: Serial},
+		{Legend: "CPU_d", Device: EmbeddedCPU, Inference: PLP, Evolution: Serial},
+		{Legend: "GPU_c", Device: EmbeddedGPU, Inference: BSP, Evolution: PLP},
+		{Legend: "GPU_d", Device: EmbeddedGPU, Inference: BSPPLP, Evolution: PLP},
+	}
+}
+
+// ByLegend returns the named configuration.
+func ByLegend(legend string) (Spec, error) {
+	for _, s := range TableIII() {
+		if s.Legend == legend {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("platform: unknown configuration %q", legend)
+}
+
+// String renders the spec like the Table III row.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s: inference=%s evolution=%s on %s (%.0f W)",
+		s.Legend, s.Inference, s.Evolution, s.Device.Name, s.Device.PowerW)
+}

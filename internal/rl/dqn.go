@@ -1,0 +1,308 @@
+// Package rl implements the Deep Q-Network baseline the paper compares
+// evolutionary algorithms against (Table II and footnote 1: "we also
+// ran the same environments with open-source implementations of A3C
+// and DQN, and found that certain OpenAI environments never converged,
+// or required a lot of tuning"). Having the baseline executable makes
+// the DQN side of Table II a measurement: the agent counts its forward
+// MACs, backward gradient ops, and replay/parameter memory while it
+// trains.
+package rl
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+	"repro/internal/env"
+	"repro/internal/rng"
+)
+
+// transition is one replay-memory entry (s, a, r, s', done).
+type transition struct {
+	state  []float64
+	action int
+	reward float64
+	next   []float64
+	done   bool
+}
+
+// ReplayBuffer is a fixed-capacity ring of transitions.
+type ReplayBuffer struct {
+	buf  []transition
+	next int
+	full bool
+}
+
+// NewReplayBuffer allocates a buffer with the given capacity.
+func NewReplayBuffer(capacity int) *ReplayBuffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ReplayBuffer{buf: make([]transition, capacity)}
+}
+
+// Len returns the number of stored transitions.
+func (b *ReplayBuffer) Len() int {
+	if b.full {
+		return len(b.buf)
+	}
+	return b.next
+}
+
+// Add stores a transition, evicting the oldest when full.
+func (b *ReplayBuffer) Add(t transition) {
+	b.buf[b.next] = t
+	b.next++
+	if b.next == len(b.buf) {
+		b.next = 0
+		b.full = true
+	}
+}
+
+// Sample draws n transitions uniformly with replacement.
+func (b *ReplayBuffer) Sample(r *rng.XorWow, n int) []transition {
+	out := make([]transition, n)
+	for i := range out {
+		out[i] = b.buf[r.Intn(b.Len())]
+	}
+	return out
+}
+
+// MemoryBytes is the buffer's storage: two states, action, reward and
+// flag per entry — the Table II replay-memory row, measured.
+func (b *ReplayBuffer) MemoryBytes(obsSize int) int64 {
+	per := int64(2*obsSize*8 + 8 + 8 + 1)
+	return int64(len(b.buf)) * per
+}
+
+// Config tunes the agent.
+type Config struct {
+	Hidden       []int   // hidden layer sizes
+	Gamma        float64 // discount
+	LR           float64 // SGD learning rate
+	BatchSize    int
+	ReplaySize   int
+	TargetEvery  int     // env steps between target-network refreshes
+	EpsilonStart float64 // ε-greedy schedule
+	EpsilonEnd   float64
+	EpsilonDecay int // steps to anneal over
+	WarmupSteps  int // steps before learning starts
+}
+
+// DefaultConfig follows the classic Atari-DQN shape scaled to the
+// classic-control tasks.
+func DefaultConfig() Config {
+	return Config{
+		Hidden:       []int{64, 64},
+		Gamma:        0.99,
+		LR:           5e-3,
+		BatchSize:    32,
+		ReplaySize:   10000,
+		TargetEvery:  200,
+		EpsilonStart: 1.0,
+		EpsilonEnd:   0.05,
+		EpsilonDecay: 5000,
+		WarmupSteps:  500,
+	}
+}
+
+// Agent is a DQN learner bound to one environment.
+type Agent struct {
+	cfg    Config
+	env    env.Env
+	online *dnn.MLP
+	target *dnn.MLP
+	replay *ReplayBuffer
+	rnd    *rng.XorWow
+	steps  int
+}
+
+// NewAgent builds an agent for the named environment.
+func NewAgent(envName string, cfg Config, seed uint64) (*Agent, error) {
+	e, err := env.New(envName)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(seed)
+	sizes := append([]int{e.ObservationSize()}, cfg.Hidden...)
+	sizes = append(sizes, actionCount(e))
+	online, err := dnn.NewMLP(r, sizes...)
+	if err != nil {
+		return nil, err
+	}
+	target, err := dnn.NewMLP(r, sizes...)
+	if err != nil {
+		return nil, err
+	}
+	if err := target.CopyFrom(online); err != nil {
+		return nil, err
+	}
+	return &Agent{
+		cfg: cfg, env: e, online: online, target: target,
+		replay: NewReplayBuffer(cfg.ReplaySize), rnd: r,
+	}, nil
+}
+
+// actionCount maps the env's raw action vector onto a discrete set:
+// one discrete action per output (argmax decode), or two for a single
+// binary/continuous output.
+func actionCount(e env.Env) int {
+	if e.ActionSize() == 1 {
+		return 2
+	}
+	return e.ActionSize()
+}
+
+// actionVector converts a discrete choice back into the environment's
+// action vector.
+func (a *Agent) actionVector(choice int) []float64 {
+	out := make([]float64, a.env.ActionSize())
+	if a.env.ActionSize() == 1 {
+		// Binary/continuous single output: 0 → low, 1 → high.
+		if choice == 1 {
+			out[0] = 1
+		} else {
+			out[0] = -1
+		}
+		return out
+	}
+	out[choice] = 1
+	return out
+}
+
+// epsilon returns the current exploration rate.
+func (a *Agent) epsilon() float64 {
+	if a.steps >= a.cfg.EpsilonDecay {
+		return a.cfg.EpsilonEnd
+	}
+	frac := float64(a.steps) / float64(a.cfg.EpsilonDecay)
+	return a.cfg.EpsilonStart + (a.cfg.EpsilonEnd-a.cfg.EpsilonStart)*frac
+}
+
+// act picks an ε-greedy action for the state.
+func (a *Agent) act(state []float64) (int, error) {
+	if a.rnd.Bool(a.epsilon()) {
+		return a.rnd.Intn(a.online.NumOutputs()), nil
+	}
+	q, err := a.online.Forward(state)
+	if err != nil {
+		return 0, err
+	}
+	best := 0
+	for i, v := range q {
+		if v > q[best] {
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// learn runs one mini-batch TD update.
+func (a *Agent) learn() error {
+	batch := a.replay.Sample(a.rnd, a.cfg.BatchSize)
+	for _, tr := range batch {
+		target := tr.reward
+		if !tr.done {
+			qn, err := a.target.Forward(tr.next)
+			if err != nil {
+				return err
+			}
+			best := qn[0]
+			for _, v := range qn[1:] {
+				if v > best {
+					best = v
+				}
+			}
+			target += a.cfg.Gamma * best
+		}
+		if _, err := a.online.Forward(tr.state); err != nil {
+			return err
+		}
+		if err := a.online.BackwardMSE([]int{tr.action}, []float64{target}); err != nil {
+			return err
+		}
+	}
+	a.online.SGDStep(a.cfg.LR, a.cfg.BatchSize, 1.0)
+	return nil
+}
+
+// EpisodeResult is one training episode's outcome.
+type EpisodeResult struct {
+	Episode int
+	Reward  float64
+	Epsilon float64
+}
+
+// Train runs the given number of episodes, returning per-episode
+// rewards.
+func (a *Agent) Train(episodes int) ([]EpisodeResult, error) {
+	results := make([]EpisodeResult, 0, episodes)
+	for ep := 0; ep < episodes; ep++ {
+		obs := a.env.Reset(uint64(ep)*2654435761 + 1)
+		state := append([]float64(nil), obs...)
+		total := 0.0
+		for {
+			choice, err := a.act(state)
+			if err != nil {
+				return nil, err
+			}
+			nextObs, reward, done := a.env.Step(a.actionVector(choice))
+			next := append([]float64(nil), nextObs...)
+			a.replay.Add(transition{
+				state: state, action: choice, reward: reward, next: next, done: done,
+			})
+			total += reward
+			state = next
+			a.steps++
+			if a.steps > a.cfg.WarmupSteps && a.replay.Len() >= a.cfg.BatchSize {
+				if err := a.learn(); err != nil {
+					return nil, err
+				}
+			}
+			if a.steps%a.cfg.TargetEvery == 0 {
+				if err := a.target.CopyFrom(a.online); err != nil {
+					return nil, err
+				}
+			}
+			if done {
+				break
+			}
+		}
+		results = append(results, EpisodeResult{Episode: ep, Reward: total, Epsilon: a.epsilon()})
+	}
+	return results, nil
+}
+
+// Measured is the measured Table II ledger for this agent.
+type Measured struct {
+	ForwardMACs int64
+	GradOps     int64
+	ReplayBytes int64
+	ParamBytes  int64
+	Steps       int
+}
+
+// Measured reports the agent's accumulated compute and memory.
+func (a *Agent) Measured() Measured {
+	return Measured{
+		ForwardMACs: a.online.ForwardMACs + a.target.ForwardMACs,
+		GradOps:     a.online.GradOps,
+		ReplayBytes: a.replay.MemoryBytes(a.env.ObservationSize()),
+		ParamBytes:  a.online.MemoryBytes() + a.target.MemoryBytes(),
+		Steps:       a.steps,
+	}
+}
+
+// PerStep normalizes the compute ledger per environment step.
+func (m Measured) PerStep() (fwdMACs, gradOps float64) {
+	if m.Steps == 0 {
+		return 0, 0
+	}
+	return float64(m.ForwardMACs) / float64(m.Steps), float64(m.GradOps) / float64(m.Steps)
+}
+
+// String renders the ledger.
+func (m Measured) String() string {
+	f, g := m.PerStep()
+	return fmt.Sprintf("dqn: %.0f MACs/step fwd, %.0f grad-ops/step, replay %d KB, params %d KB",
+		f, g, m.ReplayBytes>>10, m.ParamBytes>>10)
+}

@@ -1,0 +1,174 @@
+package rl
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/rng"
+)
+
+func TestReplayBufferRing(t *testing.T) {
+	b := NewReplayBuffer(3)
+	if b.Len() != 0 {
+		t.Fatal("fresh buffer not empty")
+	}
+	for i := 0; i < 5; i++ {
+		b.Add(transition{reward: float64(i)})
+	}
+	if b.Len() != 3 {
+		t.Fatalf("len %d after overfill", b.Len())
+	}
+	// Entries 0 and 1 must have been evicted.
+	r := rng.New(1)
+	for i := 0; i < 50; i++ {
+		tr := b.Sample(r, 1)[0]
+		if tr.reward < 2 {
+			t.Fatalf("evicted entry sampled: %v", tr.reward)
+		}
+	}
+}
+
+func TestReplayMemoryBytes(t *testing.T) {
+	b := NewReplayBuffer(100)
+	// 2 states ×4 obs ×8B + action 8 + reward 8 + flag 1 = 81 B/entry.
+	if got := b.MemoryBytes(4); got != 100*81 {
+		t.Fatalf("memory %d", got)
+	}
+}
+
+func TestAgentConstruction(t *testing.T) {
+	if _, err := NewAgent("pong", DefaultConfig(), 1); err == nil {
+		t.Fatal("unknown env accepted")
+	}
+	a, err := NewAgent("cartpole", DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CartPole's single binary output becomes two discrete actions.
+	if a.online.NumOutputs() != 2 {
+		t.Fatalf("action count %d", a.online.NumOutputs())
+	}
+	m, err := NewAgent("mountaincar", DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.online.NumOutputs() != 3 {
+		t.Fatalf("mountaincar action count %d", m.online.NumOutputs())
+	}
+}
+
+func TestEpsilonSchedule(t *testing.T) {
+	a, _ := NewAgent("cartpole", DefaultConfig(), 1)
+	if a.epsilon() != a.cfg.EpsilonStart {
+		t.Fatal("epsilon does not start at start")
+	}
+	a.steps = a.cfg.EpsilonDecay * 2
+	if a.epsilon() != a.cfg.EpsilonEnd {
+		t.Fatal("epsilon does not anneal to end")
+	}
+}
+
+// smallConfig keeps DQN training tests fast.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Hidden = []int{32, 32}
+	cfg.BatchSize = 16
+	cfg.ReplaySize = 4000
+	cfg.EpsilonDecay = 3000
+	cfg.WarmupSteps = 300
+	return cfg
+}
+
+// TestDQNImprovesOnCartPole: the baseline works where the paper found
+// it workable.
+func TestDQNImprovesOnCartPole(t *testing.T) {
+	a, err := NewAgent("cartpole", smallConfig(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := a.Train(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := meanReward(results[:20])
+	tail := meanReward(results[len(results)-20:])
+	if tail <= head+10 {
+		t.Fatalf("DQN did not improve: first-20 %.1f, last-20 %.1f", head, tail)
+	}
+	t.Logf("dqn cartpole: first-20 mean %.1f → last-20 mean %.1f over %d steps",
+		head, tail, a.steps)
+}
+
+// TestDQNStallsOnMountainCar reproduces footnote 1: without reward
+// shaping, vanilla DQN fails to converge on sparse-reward tasks within
+// a comparable budget (every episode times out at −200).
+func TestDQNStallsOnMountainCar(t *testing.T) {
+	a, err := NewAgent("mountaincar", smallConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := a.Train(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solvedOnce := false
+	for _, r := range results {
+		if r.Reward > -200 {
+			solvedOnce = true
+		}
+	}
+	if solvedOnce {
+		t.Log("DQN happened to reach the flag — acceptable but rare without shaping")
+	}
+	if tail := meanReward(results[len(results)-10:]); tail > -190 {
+		t.Fatalf("vanilla DQN 'solved' sparse mountaincar suspiciously fast: %.1f", tail)
+	}
+}
+
+// TestMeasuredLedgerMatchesAnalyticModel ties the executed DQN to the
+// Table II analytic model: per-step forward MACs must equal the
+// layer-size product sum, and replay memory must match the configured
+// capacity.
+func TestMeasuredLedgerMatchesAnalyticModel(t *testing.T) {
+	cfg := smallConfig()
+	cfg.WarmupSteps = 50
+	cfg.EpsilonDecay = 100 // mostly greedy quickly, so acting forwards
+	a, err := NewAgent("cartpole", cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Train(30); err != nil {
+		t.Fatal(err)
+	}
+	m := a.Measured()
+	if m.ForwardMACs <= 0 || m.GradOps <= 0 {
+		t.Fatalf("empty ledger: %+v", m)
+	}
+	// Analytic single-pass MACs for a 4-32-32-2 network.
+	d := platform.DQN{Layers: []int{4, 32, 32, 2}}
+	perPass := d.ForwardMACs()
+	// The agent runs ≥1 forward pass per step (action) plus batch
+	// training passes; the measured per-step count must be ≥ one pass
+	// and ≤ a few hundred passes.
+	fwd, _ := m.PerStep()
+	if fwd < float64(perPass) {
+		t.Fatalf("measured %.0f MACs/step below one analytic pass (%d)", fwd, perPass)
+	}
+	if fwd > float64(perPass)*200 {
+		t.Fatalf("measured %.0f MACs/step implausibly high", fwd)
+	}
+	if m.ReplayBytes != NewReplayBuffer(cfg.ReplaySize).MemoryBytes(4) {
+		t.Fatal("replay ledger mismatch")
+	}
+	if m.String() == "" {
+		t.Fatal("empty ledger string")
+	}
+}
+
+func meanReward(rs []EpisodeResult) float64 {
+	var sum float64
+	for _, r := range rs {
+		sum += r.Reward
+	}
+	return sum / float64(len(rs))
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders a numeric series as a fixed-width ASCII line chart —
+// the CLI form of the paper's fitness-curve figures (Fig. 2, Fig. 4a).
+// Width and height are the plot area in characters; axes and labels
+// are added around it.
+func Chart(series []float64, width, height int) string {
+	if len(series) == 0 {
+		return "(no data)\n"
+	}
+	if width < 8 {
+		width = 8
+	}
+	if height < 3 {
+		height = 3
+	}
+	lo, hi := series[0], series[0]
+	for _, v := range series {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	// Sample the series onto the columns.
+	for c := 0; c < width; c++ {
+		pos := float64(c) * float64(len(series)-1) / float64(width-1)
+		i := int(pos)
+		v := series[i]
+		if i+1 < len(series) {
+			frac := pos - float64(i)
+			v = series[i]*(1-frac) + series[i+1]*frac
+		}
+		row := int(math.Round((hi - v) / (hi - lo) * float64(height-1)))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		grid[row][c] = '*'
+	}
+
+	var sb strings.Builder
+	for r, line := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.3g ", hi)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%7.3g ", lo)
+		}
+		sb.WriteString(label)
+		sb.WriteString("|")
+		sb.WriteString(string(line))
+		sb.WriteString("\n")
+	}
+	sb.WriteString("        +")
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteString("\n")
+	sb.WriteString(fmt.Sprintf("         0%*s\n", width-1, fmt.Sprintf("gen %d", len(series)-1)))
+	return sb.String()
+}

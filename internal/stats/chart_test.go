@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartEmpty(t *testing.T) {
+	if Chart(nil, 40, 8) != "(no data)\n" {
+		t.Fatal("empty chart wrong")
+	}
+}
+
+func TestChartRendersAllColumns(t *testing.T) {
+	series := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	out := Chart(series, 20, 6)
+	lines := strings.Split(out, "\n")
+	stars := strings.Count(out, "*")
+	if stars < 20 {
+		t.Fatalf("only %d plot points for 20 columns:\n%s", stars, out)
+	}
+	// Rising series: the star in the first column sits below the star
+	// in the last column.
+	firstRow, lastRow := -1, -1
+	for r, line := range lines {
+		idx := strings.IndexRune(line, '|')
+		if idx < 0 {
+			continue
+		}
+		body := line[idx+1:]
+		if len(body) > 0 && body[0] == '*' {
+			firstRow = r
+		}
+		if strings.HasSuffix(body, "*") {
+			lastRow = r
+		}
+	}
+	if firstRow <= lastRow {
+		t.Fatalf("rising series rendered non-rising (first row %d, last row %d):\n%s",
+			firstRow, lastRow, out)
+	}
+}
+
+func TestChartLabelsBounds(t *testing.T) {
+	out := Chart([]float64{-2, 5}, 12, 4)
+	if !strings.Contains(out, "5") || !strings.Contains(out, "-2") {
+		t.Fatalf("bounds missing:\n%s", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	out := Chart([]float64{3, 3, 3}, 10, 4)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series rendered nothing:\n%s", out)
+	}
+}
+
+func TestChartClampsTinyDims(t *testing.T) {
+	out := Chart([]float64{1, 2}, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("degenerate dims produced nothing")
+	}
+}

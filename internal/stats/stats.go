@@ -1,0 +1,169 @@
+// Package stats provides the small statistics toolkit the
+// characterization experiments use: summary statistics and
+// logarithmically-bucketed histograms for the distribution plots of
+// Fig. 5.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N                int
+	Min, Max         float64
+	Mean, Std        float64
+	P25, Median, P75 float64
+}
+
+// Summarize computes summary statistics; it returns a zero Summary for
+// an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum, sumsq float64
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	variance := sumsq/float64(len(xs)) - s.Mean*s.Mean
+	if variance > 0 {
+		s.Std = math.Sqrt(variance)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P25 = percentile(sorted, 0.25)
+	s.Median = percentile(sorted, 0.5)
+	s.P75 = percentile(sorted, 0.75)
+	return s
+}
+
+// percentile interpolates the q-th percentile of a sorted sample.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3g p25=%.3g med=%.3g p75=%.3g max=%.3g mean=%.3g±%.3g",
+		s.N, s.Min, s.P25, s.Median, s.P75, s.Max, s.Mean, s.Std)
+}
+
+// LogHistogram buckets positive samples by order of magnitude with
+// BucketsPerDecade subdivisions — the relative-frequency form of the
+// Fig. 5 distributions.
+type LogHistogram struct {
+	BucketsPerDecade int
+	counts           map[int]int
+	total            int
+	zeroOrNeg        int
+}
+
+// NewLogHistogram returns a histogram with the given resolution
+// (buckets per factor of 10); resolution 1 gives decade buckets.
+func NewLogHistogram(bucketsPerDecade int) *LogHistogram {
+	if bucketsPerDecade < 1 {
+		bucketsPerDecade = 1
+	}
+	return &LogHistogram{BucketsPerDecade: bucketsPerDecade, counts: map[int]int{}}
+}
+
+// Add inserts one sample. Non-positive samples are tallied separately.
+func (h *LogHistogram) Add(x float64) {
+	h.total++
+	if x <= 0 {
+		h.zeroOrNeg++
+		return
+	}
+	b := int(math.Floor(math.Log10(x) * float64(h.BucketsPerDecade)))
+	h.counts[b]++
+}
+
+// Total returns the sample count.
+func (h *LogHistogram) Total() int { return h.total }
+
+// Bucket is one histogram bar.
+type Bucket struct {
+	Lo, Hi float64
+	Count  int
+	Frac   float64
+}
+
+// Buckets returns the non-empty buckets in ascending order.
+func (h *LogHistogram) Buckets() []Bucket {
+	if h.total == 0 {
+		return nil
+	}
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]Bucket, 0, len(keys)+1)
+	if h.zeroOrNeg > 0 {
+		out = append(out, Bucket{Lo: 0, Hi: 0, Count: h.zeroOrNeg,
+			Frac: float64(h.zeroOrNeg) / float64(h.total)})
+	}
+	for _, k := range keys {
+		lo := math.Pow(10, float64(k)/float64(h.BucketsPerDecade))
+		hi := math.Pow(10, float64(k+1)/float64(h.BucketsPerDecade))
+		c := h.counts[k]
+		out = append(out, Bucket{Lo: lo, Hi: hi, Count: c,
+			Frac: float64(c) / float64(h.total)})
+	}
+	return out
+}
+
+// Mode returns the bucket with the highest count.
+func (h *LogHistogram) Mode() Bucket {
+	var best Bucket
+	for _, b := range h.Buckets() {
+		if b.Count > best.Count {
+			best = b
+		}
+	}
+	return best
+}
+
+// Render draws the histogram as fixed-width text bars, the form the
+// experiment CLI prints.
+func (h *LogHistogram) Render(width int) string {
+	bs := h.Buckets()
+	if len(bs) == 0 {
+		return "(empty)\n"
+	}
+	maxFrac := 0.0
+	for _, b := range bs {
+		if b.Frac > maxFrac {
+			maxFrac = b.Frac
+		}
+	}
+	var sb strings.Builder
+	for _, b := range bs {
+		bar := int(b.Frac / maxFrac * float64(width))
+		fmt.Fprintf(&sb, "%10.3g-%-10.3g %5.1f%% %s\n",
+			b.Lo, b.Hi, b.Frac*100, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("bounds wrong: %+v", s)
+	}
+	if s.Mean != 3 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.Median != 3 {
+		t.Fatalf("median = %v", s.Median)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Median != 7 || s.Std != 0 {
+		t.Fatalf("single summary %+v", s)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	s := Summarize([]float64{0, 10})
+	if s.Median != 5 {
+		t.Fatalf("median of {0,10} = %v", s.Median)
+	}
+	if s.P25 != 2.5 || s.P75 != 7.5 {
+		t.Fatalf("quartiles %v/%v", s.P25, s.P75)
+	}
+}
+
+// Property: min <= p25 <= median <= p75 <= max and min <= mean <= max.
+func TestQuickSummaryOrdering(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, math.Mod(x, 1e6))
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.P25 && s.P25 <= s.Median && s.Median <= s.P75 &&
+			s.P75 <= s.Max && s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogHistogramBuckets(t *testing.T) {
+	h := NewLogHistogram(1)
+	for _, x := range []float64{5, 50, 55, 500, 5000, 5500, 5900} {
+		h.Add(x)
+	}
+	bs := h.Buckets()
+	if len(bs) != 4 {
+		t.Fatalf("bucket count %d: %+v", len(bs), bs)
+	}
+	if h.Mode().Count != 3 {
+		t.Fatalf("mode %+v", h.Mode())
+	}
+	var fracSum float64
+	for _, b := range bs {
+		fracSum += b.Frac
+		if b.Lo > b.Hi {
+			t.Fatalf("inverted bucket %+v", b)
+		}
+	}
+	if math.Abs(fracSum-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v", fracSum)
+	}
+}
+
+func TestLogHistogramNonPositive(t *testing.T) {
+	h := NewLogHistogram(1)
+	h.Add(0)
+	h.Add(-3)
+	h.Add(10)
+	bs := h.Buckets()
+	if bs[0].Count != 2 || bs[0].Lo != 0 {
+		t.Fatalf("zero bucket %+v", bs[0])
+	}
+	if h.Total() != 3 {
+		t.Fatalf("total %d", h.Total())
+	}
+}
+
+func TestLogHistogramResolutionFloor(t *testing.T) {
+	h := NewLogHistogram(0)
+	if h.BucketsPerDecade != 1 {
+		t.Fatalf("resolution not floored: %d", h.BucketsPerDecade)
+	}
+}
+
+func TestRender(t *testing.T) {
+	h := NewLogHistogram(1)
+	for i := 0; i < 10; i++ {
+		h.Add(100)
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("render produced no bars:\n%s", out)
+	}
+	empty := NewLogHistogram(1)
+	if empty.Render(20) != "(empty)\n" {
+		t.Fatal("empty render wrong")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if !strings.Contains(s.String(), "n=3") {
+		t.Fatalf("summary string %q", s.String())
+	}
+}

@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the trace reader against malformed input: Parse
+// must never panic, and anything it accepts must re-serialize and
+// re-parse to the same structure.
+func FuzzParse(f *testing.F) {
+	f.Add("G 0 100\nP 1 50\nP 2 50\nC 10 1 2 50 10 1 1 0 0\n")
+	f.Add("G 3 0\n")
+	f.Add("")
+	f.Add("X nonsense\n")
+	f.Add("C 1 2 3 4\n")
+	f.Add("G 0 1\nC 10 1 -1 5 0 0 0 0 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if len(back.Generations) != len(tr.Generations) {
+			t.Fatalf("round trip changed generation count: %d vs %d",
+				len(back.Generations), len(tr.Generations))
+		}
+		for i := range tr.Generations {
+			a, b := &tr.Generations[i], &back.Generations[i]
+			if a.Index != b.Index || len(a.Children) != len(b.Children) ||
+				len(a.ParentSizes) != len(b.ParentSizes) {
+				t.Fatalf("generation %d changed across round trip", i)
+			}
+		}
+	})
+}
