@@ -7,6 +7,7 @@
 // Usage:
 //
 //	characterize -workload lunarlander -generations 60 -trace out.trace
+//	characterize -workload cartpole -runs 8 -records records.json
 package main
 
 import (
@@ -16,10 +17,25 @@ import (
 	"strings"
 
 	"repro/internal/evolve"
+	"repro/internal/hw/hwsim"
 	"repro/internal/neat"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
+
+// writeRecords dumps the structured per-generation record log as JSON.
+func writeRecords(log *hwsim.Log, path string) {
+	data, err := log.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("records: %d generation records written to %s\n", log.Len(), path)
+}
 
 func main() {
 	var (
@@ -29,14 +45,16 @@ func main() {
 		seed        = flag.Uint64("seed", 42, "run seed")
 		traceOut    = flag.String("trace", "", "write the reproduction trace to this file")
 		runs        = flag.Int("runs", 1, "independent runs; >1 prints the convergence study instead of per-generation rows")
+		recordsOut  = flag.String("records", "", "write per-generation counter records to this file as JSON")
 	)
 	flag.Parse()
 
 	cfg := neat.DefaultConfig(1, 1)
 	cfg.PopulationSize = *pop
+	log := &hwsim.Log{}
 
 	if *runs > 1 {
-		study, err := evolve.RunStudy(*workload, cfg, *runs, *generations, *seed)
+		study, err := evolve.RunStudyWithSink(*workload, cfg, *runs, *generations, *seed, log)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "characterize:", err)
 			os.Exit(1)
@@ -49,6 +67,9 @@ func main() {
 		fmt.Printf("footprint bytes:       %s\n", stats.Summarize(study.FootprintsPerGeneration()))
 		fmt.Println("\nmean normalized best fitness by generation:")
 		fmt.Print(stats.Chart(study.MeanNormMaxByGeneration(), 60, 10))
+		if *recordsOut != "" {
+			writeRecords(log, *recordsOut)
+		}
 		return
 	}
 	r, err := evolve.NewRunner(*workload, cfg, *seed)
@@ -56,6 +77,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "characterize:", err)
 		os.Exit(1)
 	}
+	r.Sink = log
 	tr := &trace.Trace{}
 	r.SetRecorder(tr)
 
@@ -97,5 +119,8 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("trace: %d generations written to %s\n", len(tr.Generations), *traceOut)
+	}
+	if *recordsOut != "" {
+		writeRecords(log, *recordsOut)
 	}
 }

@@ -8,14 +8,17 @@
 //	characterize -workload alien-ram -generations 5 -trace alien.trace
 //	socreplay -trace alien.trace -pes 256 -noc multicast
 //	socreplay -trace alien.trace -pes 8 -noc p2p -alloc fifo
+//	socreplay -trace alien.trace -json counters.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/hw/eve"
+	"repro/internal/hw/hwsim"
 	"repro/internal/hw/noc"
 	"repro/internal/trace"
 )
@@ -26,6 +29,7 @@ func main() {
 		pes       = flag.Int("pes", 256, "EvE PE count")
 		nocKind   = flag.String("noc", "multicast", "interconnect: multicast | p2p")
 		alloc     = flag.String("alloc", "greedy", "PE allocation: greedy | fifo")
+		jsonOut   = flag.String("json", "", "write the per-generation counter trees to this file as JSON")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -72,15 +76,38 @@ func main() {
 		"gen", "children", "waves", "cycles", "sram-rd", "sram-wr", "uJ", "util%")
 	var totCycles int64
 	var totEnergy float64
+	var records []hwsim.Record
 	for i := range tr.Generations {
 		g := &tr.Generations[i]
+		// Reset per generation so each snapshot is that generation's own
+		// counter ledger, not a running total.
+		engine.Reset()
 		r := engine.RunGeneration(g)
 		totCycles += r.TotalCycles
 		totEnergy += r.TotalEnergyPJ()
 		fmt.Printf("%-4d %-9d %-8d %-11d %-11d %-9d %-9.2f %-7.1f\n",
 			g.Index, r.Children, r.Waves, r.TotalCycles, r.SRAMReads, r.SRAMWrites,
 			r.TotalEnergyPJ()/1e6, r.Utilization*100)
+		if *jsonOut != "" {
+			records = append(records, hwsim.Record{
+				Generation: g.Index,
+				Report:     engine.Counters().Snapshot(),
+			})
+		}
 	}
 	fmt.Printf("\ntotal: %d cycles (%.3f ms @200MHz), %.2f uJ\n",
 		totCycles, float64(totCycles)/200e6*1e3, totEnergy/1e6)
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "socreplay:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "socreplay:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("counters: %d generation trees written to %s\n", len(records), *jsonOut)
+	}
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/evolve"
 	"repro/internal/hw/adam"
 	"repro/internal/hw/energy"
+	"repro/internal/hw/hwsim"
 	"repro/internal/hw/soc"
 	"repro/internal/neat"
 	"repro/internal/network"
@@ -47,6 +48,12 @@ type Config struct {
 	SoC *energy.SoCConfig
 	// Parallelism caps evaluation workers (0 = GOMAXPROCS).
 	Parallelism int
+	// Sink, when set, receives one structured hwsim.Record per
+	// generation. With HardwareInLoop the record's report is a "gen"
+	// tree holding the algorithm stats ("gen/evolve") next to the full
+	// per-generation chip counter tree ("gen/soc"); without hardware it
+	// is the algorithm tree alone.
+	Sink hwsim.Sink
 }
 
 // GenerationResult is one generation's outcome: the algorithm-level
@@ -108,6 +115,9 @@ func New(cfg Config) (*System, error) {
 		s.chip = soc.New(s.soCfg)
 		s.trace = &trace.Trace{}
 		r.SetRecorder(s.trace)
+	} else if cfg.Sink != nil {
+		// No chip to snapshot: the runner streams the algorithm tree.
+		r.Sink = cfg.Sink
 	}
 	return s, nil
 }
@@ -159,8 +169,21 @@ func (s *System) RunGeneration() (GenerationResult, error) {
 		for i := range jobs {
 			jobs[i].Steps = steps
 		}
+		// Reset the chip's counter tree so the snapshot below is this
+		// generation's ledger, not a running total.
+		s.chip.Reset()
 		res.HW = s.chip.RunGeneration(jobs, s.trace.Last(), footprint)
 		res.HasHW = true
+		if s.cfg.Sink != nil {
+			s.cfg.Sink.Record(hwsim.Record{
+				Workload:   s.cfg.Workload,
+				Generation: st.Generation,
+				Report: hwsim.Report{
+					Name:     "gen",
+					Children: []hwsim.Report{st.CounterReport(), s.chip.Snapshot()},
+				},
+			})
+		}
 	}
 	s.History = append(s.History, res)
 	return res, nil

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/env"
 	"repro/internal/gene"
+	"repro/internal/hw/hwsim"
 	"repro/internal/neat"
 	"repro/internal/network"
 )
@@ -46,6 +47,43 @@ type GenStats struct {
 	VertexUpdates int64
 }
 
+// CounterReport renders the stats as a hwsim report node named
+// "evolve" — the structured-row form per-generation records flow
+// through to stats and the CLIs.
+func (st GenStats) CounterReport() hwsim.Report {
+	return hwsim.Report{
+		Name: "evolve",
+		Ints: map[string]int64{
+			"solved":               boolInt(st.Solved),
+			"total_genes":          int64(st.TotalGenes),
+			"node_genes":           int64(st.NodeGenes),
+			"conn_genes":           int64(st.ConnGenes),
+			"footprint_bytes":      int64(st.FootprintBytes),
+			"num_species":          int64(st.NumSpecies),
+			"crossover_ops":        st.CrossoverOps,
+			"mutation_ops":         st.MutationOps,
+			"fittest_parent_reuse": int64(st.FittestParentReuse),
+			"max_parent_reuse":     int64(st.MaxParentReuse),
+			"env_steps":            st.EnvSteps,
+			"inference_macs":       st.InferenceMACs,
+			"vertex_updates":       st.VertexUpdates,
+		},
+		Floats: map[string]float64{
+			"max_fitness":  st.MaxFitness,
+			"mean_fitness": st.MeanFitness,
+			"norm_max":     st.NormMax,
+			"norm_mean":    st.NormMean,
+		},
+	}
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // Runner evolves one workload, recording per-generation statistics and
 // (optionally) a reproduction trace.
 type Runner struct {
@@ -56,7 +94,12 @@ type Runner struct {
 	// Parallelism caps the evaluation worker pool (population-level
 	// parallelism); 0 means GOMAXPROCS.
 	Parallelism int
+	// Sink, when set, receives one hwsim.Record per completed
+	// generation (the GenStats counter tree), tagged with the workload
+	// name.
+	Sink hwsim.Sink
 
+	name     string
 	opCounts neat.OpCounts
 	seed     uint64
 	extraRec neat.Recorder
@@ -79,7 +122,7 @@ func NewRunner(workloadName string, cfg neat.Config, seed uint64) (*Runner, erro
 	if err != nil {
 		return nil, err
 	}
-	r := &Runner{Workload: w, Pop: pop, seed: seed}
+	r := &Runner{Workload: w, Pop: pop, name: workloadName, seed: seed}
 	pop.SetRecorder(&r.opCounts)
 	return r, nil
 }
@@ -238,6 +281,13 @@ func (r *Runner) Step() (GenStats, error) {
 	}
 
 	r.History = append(r.History, st)
+	if r.Sink != nil {
+		r.Sink.Record(hwsim.Record{
+			Workload:   r.name,
+			Generation: st.Generation,
+			Report:     st.CounterReport(),
+		})
+	}
 	return st, nil
 }
 

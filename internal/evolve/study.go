@@ -1,8 +1,12 @@
 package evolve
 
 import (
+	"errors"
+	"fmt"
+	"runtime"
 	"sync"
 
+	"repro/internal/hw/hwsim"
 	"repro/internal/neat"
 	"repro/internal/stats"
 )
@@ -26,15 +30,28 @@ type Study struct {
 }
 
 // RunStudy executes runs independent evolutions with seeds seed+run,
-// each up to maxGenerations. Runs execute concurrently (each already
-// parallelizes its own evaluation, so per-run workers are capped).
+// each up to maxGenerations. Concurrency is capped by a worker
+// semaphore (runtime.NumCPU slots) rather than one unbounded goroutine
+// per run, and every run's error is aggregated with errors.Join — a
+// failing seed no longer masks failures in later runs.
 func RunStudy(workload string, cfg neat.Config, runs, maxGenerations int, seed uint64) (*Study, error) {
+	return RunStudyWithSink(workload, cfg, runs, maxGenerations, seed, nil)
+}
+
+// RunStudyWithSink is RunStudy with per-generation records flowing to
+// sink (which may be nil). Each run's records are tagged with the
+// workload name and run index; the sink must be safe for concurrent
+// use (hwsim.Log is).
+func RunStudyWithSink(workload string, cfg neat.Config, runs, maxGenerations int, seed uint64, sink hwsim.Sink) (*Study, error) {
 	st := &Study{Workload: workload, Results: make([]StudyResult, runs)}
+	sem := make(chan struct{}, runtime.NumCPU())
 	var wg sync.WaitGroup
 	for run := 0; run < runs; run++ {
 		wg.Add(1)
 		go func(run int) {
 			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
 			res := StudyResult{Run: run}
 			r, err := NewRunner(workload, cfg, seed+uint64(run)*7919)
 			if err != nil {
@@ -43,18 +60,22 @@ func RunStudy(workload string, cfg neat.Config, runs, maxGenerations int, seed u
 				return
 			}
 			r.Parallelism = 2 // the study itself provides the outer parallelism
+			if sink != nil {
+				r.Sink = hwsim.Tagged{Sink: sink, Workload: workload, Run: run}
+			}
 			res.Solved, res.Err = r.Run(maxGenerations)
 			res.History = r.History
 			st.Results[run] = res
 		}(run)
 	}
 	wg.Wait()
+	var errs []error
 	for _, res := range st.Results {
 		if res.Err != nil {
-			return st, res.Err
+			errs = append(errs, fmt.Errorf("run %d: %w", res.Run, res.Err))
 		}
 	}
-	return st, nil
+	return st, errors.Join(errs...)
 }
 
 // SolveRate is the fraction of runs that reached the target.

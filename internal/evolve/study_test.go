@@ -1,8 +1,11 @@
 package evolve
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
+	"repro/internal/hw/hwsim"
 	"repro/internal/neat"
 )
 
@@ -96,6 +99,65 @@ func TestStudyPools(t *testing.T) {
 func TestStudyUnknownWorkload(t *testing.T) {
 	if _, err := RunStudy("pong", neat.DefaultConfig(1, 1), 1, 1, 1); err == nil {
 		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestStudyAggregatesAllRunErrors(t *testing.T) {
+	// Every run fails; the joined error must name each of them rather
+	// than the first failure masking the rest.
+	st, err := RunStudy("pong", neat.DefaultConfig(1, 1), 3, 1, 1)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for run := 0; run < 3; run++ {
+		if !strings.Contains(err.Error(), fmt.Sprintf("run %d:", run)) {
+			t.Fatalf("error missing run %d: %v", run, err)
+		}
+	}
+	for _, r := range st.Results {
+		if r.Err == nil {
+			t.Fatalf("run %d recorded no error", r.Run)
+		}
+	}
+}
+
+func TestStudySinkRecordsTagged(t *testing.T) {
+	cfg := neat.DefaultConfig(1, 1)
+	cfg.PopulationSize = 30
+	log := &hwsim.Log{}
+	st, err := RunStudyWithSink("mountaincar", cfg, 2, 3, 11, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecords := 0
+	for _, r := range st.Results {
+		wantRecords += len(r.History)
+	}
+	recs := log.Records()
+	if len(recs) != wantRecords {
+		t.Fatalf("%d records for %d history entries", len(recs), wantRecords)
+	}
+	// Sorted records mirror the per-run histories field by field.
+	i := 0
+	for run := 0; run < 2; run++ {
+		for g, st2 := range st.Results[run].History {
+			rec := recs[i]
+			i++
+			if rec.Workload != "mountaincar" || rec.Run != run || rec.Generation != g {
+				t.Fatalf("record %d mistagged: %+v", i-1, rec)
+			}
+			if rec.Report.Int("total_genes") != int64(st2.TotalGenes) {
+				t.Fatalf("run %d gen %d: record genes %d, history %d",
+					run, g, rec.Report.Int("total_genes"), st2.TotalGenes)
+			}
+			if rec.Report.Float("max_fitness") != st2.MaxFitness {
+				t.Fatalf("run %d gen %d: record fitness %v, history %v",
+					run, g, rec.Report.Float("max_fitness"), st2.MaxFitness)
+			}
+		}
+	}
+	if s := log.Series("footprint_bytes"); len(s) != wantRecords {
+		t.Fatalf("footprint series %d long", len(s))
 	}
 }
 

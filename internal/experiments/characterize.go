@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/env"
 	"repro/internal/evolve"
+	"repro/internal/hw/hwsim"
 	"repro/internal/neat"
 	"repro/internal/stats"
 )
@@ -80,6 +81,17 @@ func studyFor(wl string, opt Options) (*evolve.Study, error) {
 	cfg := neat.DefaultConfig(1, 1)
 	cfg.PopulationSize = opt.popFor(wl)
 	return evolve.RunStudy(wl, cfg, opt.Runs, opt.gensFor(wl), opt.Seed)
+}
+
+// studyRecords runs the study with a record sink attached: the
+// per-generation characterization arrives as structured hwsim records
+// rather than positional struct fields.
+func studyRecords(wl string, opt Options) (*hwsim.Log, error) {
+	cfg := neat.DefaultConfig(1, 1)
+	cfg.PopulationSize = opt.popFor(wl)
+	log := &hwsim.Log{}
+	_, err := evolve.RunStudyWithSink(wl, cfg, opt.Runs, opt.gensFor(wl), opt.Seed, log)
+	return log, err
 }
 
 // Fig4a regenerates the normalized-fitness evolution curves from
@@ -186,12 +198,21 @@ func Fig4c(opt Options) (*Result, error) {
 func Fig5a(opt Options) (*Result, error) {
 	r := &Result{ID: "fig5a", Title: "Crossover+mutation ops per generation (distribution)"}
 	for _, wl := range append(evolve.ControlSuite(), "alien-ram") {
-		study, err := studyFor(wl, opt)
+		log, err := studyRecords(wl, opt)
 		if err != nil {
 			return nil, err
 		}
 		h := stats.NewLogHistogram(2)
-		all := study.OpsPerGeneration()
+		// Pool the reproduction-op counts across every recorded
+		// generation of every run; solved generations record no
+		// reproduction, as in Study.OpsPerGeneration.
+		var all []float64
+		for _, rec := range log.Records() {
+			if rec.Report.Int("solved") != 0 {
+				continue
+			}
+			all = append(all, float64(rec.Report.Int("crossover_ops")+rec.Report.Int("mutation_ops")))
+		}
 		for _, v := range all {
 			h.Add(v)
 		}
@@ -216,13 +237,13 @@ func Fig5b(opt Options) (*Result, error) {
 	r := &Result{ID: "fig5b", Title: "Memory footprint per generation (distribution)"}
 	paperPop := 150.0
 	for _, wl := range append(evolve.ControlSuite(), "amidar-ram") {
-		study, err := studyFor(wl, opt)
+		log, err := studyRecords(wl, opt)
 		if err != nil {
 			return nil, err
 		}
 		scale := paperPop / float64(opt.popFor(wl))
 		var all []float64
-		for _, v := range study.FootprintsPerGeneration() {
+		for _, v := range log.Series("footprint_bytes") {
 			all = append(all, v*scale)
 		}
 		s := stats.Summarize(all)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/evolve"
 	"repro/internal/hw/adam"
 	"repro/internal/hw/energy"
+	"repro/internal/hw/hwsim"
 	"repro/internal/hw/soc"
 	"repro/internal/network"
 	"repro/internal/platform"
@@ -61,11 +62,13 @@ func inferenceJobs(e *evolved, stepsPerGenome int) ([]adam.Job, error) {
 }
 
 // comparison prices one workload's last generation on every platform
-// and on the GeneSys SoC model.
+// and on the GeneSys SoC model. The GeneSys side is the chip's hwsim
+// counter tree: every figure reads it by registry traversal instead of
+// plumbing bespoke report fields.
 type comparison struct {
 	workload string
 	reports  map[string]platform.Report
-	genesys  soc.GenerationReport
+	genesys  hwsim.Report
 	soCfg    energy.SoCConfig
 }
 
@@ -123,20 +126,27 @@ func runComparisonUncached(wl string, opt Options) (*comparison, error) {
 		return nil, err
 	}
 	chip := soc.New(c.soCfg)
-	c.genesys = chip.RunGeneration(jobs, e.trace.Last(), e.runner.Pop.FootprintBytes())
+	chip.RunGeneration(jobs, e.trace.Last(), e.runner.Pop.FootprintBytes())
+	c.genesys = chip.Snapshot()
 	return c, nil
+}
+
+// genesysInferenceCycles is the SoC's evaluation-phase time: ADAM plus
+// the scratchpad transfers, read from the counter tree.
+func (c *comparison) genesysInferenceCycles() int64 {
+	return c.genesys.Int("adam/total_cycles") +
+		c.genesys.Int("scratchpad_to_adam_cycles") +
+		c.genesys.Int("adam_to_scratchpad_cycles")
 }
 
 // genesysInferenceSeconds is the SoC's evaluation-phase time.
 func (c *comparison) genesysInferenceSeconds() float64 {
-	cycles := c.genesys.Inference.TotalCycles +
-		c.genesys.ScratchpadToADAMCycles + c.genesys.ADAMToScratchpadCycles
-	return c.soCfg.CyclesToSeconds(cycles)
+	return c.soCfg.CyclesToSeconds(c.genesysInferenceCycles())
 }
 
 // genesysEvolutionSeconds is the SoC's reproduction-phase time.
 func (c *comparison) genesysEvolutionSeconds() float64 {
-	return c.soCfg.CyclesToSeconds(c.genesys.Evolution.TotalCycles)
+	return c.soCfg.CyclesToSeconds(c.genesys.Int("eve/total_cycles"))
 }
 
 // Fig9a regenerates inference runtime per generation across the
@@ -182,7 +192,7 @@ func Fig9b(opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		gsJ := c.genesys.Inference.TotalEnergyPJ() * 1e-12
+		gsJ := c.genesys.Float("adam/energy_pj") * 1e-12
 		best := c.reports["CPU_c"].InferenceEnergyJ
 		for _, l := range []string{"CPU_d", "GPU_c", "GPU_d"} {
 			if v := c.reports[l].InferenceEnergyJ; v < best {
@@ -239,7 +249,7 @@ func Fig9d(opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		gsJ := c.genesys.Evolution.TotalEnergyPJ() * 1e-12
+		gsJ := c.genesys.Float("eve/energy_pj") * 1e-12
 		ratio := c.reports["GPU_c"].EvolutionEnergyJ / gsJ
 		t.Rows = append(t.Rows, []string{
 			wl,
@@ -295,14 +305,15 @@ func Fig10c(opt Options) (*Result, error) {
 			return nil, err
 		}
 		g := c.genesys
-		toMS := c.soCfg.CyclesToSeconds(g.ScratchpadToADAMCycles) * 1e3
-		fromMS := c.soCfg.CyclesToSeconds(g.ADAMToScratchpadCycles) * 1e3
-		compMS := c.soCfg.CyclesToSeconds(g.InferenceComputeCycles) * 1e3
+		toMS := c.soCfg.CyclesToSeconds(g.Int("scratchpad_to_adam_cycles")) * 1e3
+		fromMS := c.soCfg.CyclesToSeconds(g.Int("adam_to_scratchpad_cycles")) * 1e3
+		compMS := c.soCfg.CyclesToSeconds(g.Int("inference_compute_cycles")) * 1e3
+		moveFrac := g.Float("data_movement_fraction")
 		t.Rows = append(t.Rows, []string{
 			wl, fnum(toMS), fnum(fromMS), fnum(compMS),
-			fnum(g.DataMovementFraction() * 100),
+			fnum(moveFrac * 100),
 		})
-		r.series(wl+":movementFrac", g.DataMovementFraction())
+		r.series(wl+":movementFrac", moveFrac)
 	}
 	t.Notes = append(t.Notes, "paper: ~15% of GeneSys time is data movement, all of it on-chip")
 	r.Tables = append(r.Tables, t)
@@ -320,7 +331,7 @@ func Fig10d(opt Options) (*Result, error) {
 		}
 		fa := float64(c.reports["GPU_a"].FootprintBytes)
 		fb := float64(c.reports["GPU_b"].FootprintBytes)
-		gs := float64(c.genesys.FootprintBytes)
+		gs := float64(c.genesys.Int("footprint_bytes"))
 		t.Rows = append(t.Rows, []string{
 			wl, fnum(fa), fnum(fb), fnum(gs), fnum(gs / fa), fnum(fb / gs),
 		})

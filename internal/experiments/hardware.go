@@ -115,15 +115,21 @@ func Fig11b(opt Options) (*Result, error) {
 		p2pCfg.NoC.SRAMReadsPerCycle = 1 << 20
 		mcCfg := eve.DefaultConfig(n, noc.MulticastTree)
 		mcCfg.NoC.SRAMReadsPerCycle = 1 << 20
-		p2p := eve.New(p2pCfg, nil).RunGeneration(g)
-		mc := eve.New(mcCfg, nil).RunGeneration(g)
-		red := float64(p2p.SRAMReads) / float64(mc.SRAMReads)
+		p2pEng := eve.New(p2pCfg, nil)
+		mcEng := eve.New(mcCfg, nil)
+		p2pEng.RunGeneration(g)
+		mcEng.RunGeneration(g)
+		// Read the results off the engines' counter registries — the
+		// uniform ledger every hardware block charges.
+		p2p := p2pEng.Counters().Snapshot()
+		mc := mcEng.Counters().Snapshot()
+		red := float64(p2p.Int("sram_reads")) / float64(mc.Int("sram_reads"))
 		t.Rows = append(t.Rows, []string{
-			inum(n), inum(p2p.SRAMReads), inum(mc.SRAMReads),
-			fnum(p2p.ReadsPerCycle), fnum(mc.ReadsPerCycle), fnum(red),
+			inum(n), inum(p2p.Int("sram_reads")), inum(mc.Int("sram_reads")),
+			fnum(p2p.Float("reads_per_cycle")), fnum(mc.Float("reads_per_cycle")), fnum(red),
 		})
-		r.series("p2pRate", p2p.ReadsPerCycle)
-		r.series("mcastRate", mc.ReadsPerCycle)
+		r.series("p2pRate", p2p.Float("reads_per_cycle"))
+		r.series("mcastRate", mc.Float("reads_per_cycle"))
 		r.series("reduction", red)
 	}
 	t.Notes = append(t.Notes, "paper: >100× read reduction with multicast at high PE counts")
@@ -149,19 +155,23 @@ func Fig11c(opt Options) (*Result, error) {
 		return nil, err
 	}
 	soCfg := energy.DefaultSoC()
-	adamCycles := newADAM(soCfg).RunGeneration(jobs).PassCycles
+	adamEng := newADAM(soCfg)
+	adamEng.RunGeneration(jobs)
+	adamCycles := adamEng.Counters().IntValue("pass_cycles")
 
 	r := &Result{ID: "fig11c", Title: "SRAM energy & generation runtime vs EvE PE count"}
 	t := Table{Header: []string{"PEs", "EvE-cycles", "ADAM-cycles", "SRAM-uJ"}}
 	for _, n := range peSweep {
 		cfg := eve.DefaultConfig(n, noc.MulticastTree)
-		rep := eve.New(cfg, nil).RunGeneration(g)
+		eng := eve.New(cfg, nil)
+		eng.RunGeneration(g)
+		rep := eng.Counters().Snapshot()
 		t.Rows = append(t.Rows, []string{
-			inum(n), inum(rep.StreamCycles), inum(adamCycles),
-			fnum(rep.SRAMEnergyPJ / 1e6),
+			inum(n), inum(rep.Int("stream_cycles")), inum(adamCycles),
+			fnum(rep.Float("sram_energy_pj") / 1e6),
 		})
-		r.series("eveCycles", float64(rep.StreamCycles))
-		r.series("sramUJ", rep.SRAMEnergyPJ/1e6)
+		r.series("eveCycles", float64(rep.Int("stream_cycles")))
+		r.series("sramUJ", rep.Float("sram_energy_pj")/1e6)
 	}
 	r.series("adamCycles", float64(adamCycles))
 	t.Notes = append(t.Notes,

@@ -20,7 +20,10 @@
 //     array — the ablation the paper's GPU_a configuration resembles.
 package adam
 
-import "repro/internal/network"
+import (
+	"repro/internal/hw/hwsim"
+	"repro/internal/network"
+)
 
 // Config is one ADAM design point.
 type Config struct {
@@ -90,9 +93,12 @@ type Report struct {
 // TotalEnergyPJ sums the energy components.
 func (r Report) TotalEnergyPJ() float64 { return r.MACEnergyPJ + r.SRAMEnergyPJ }
 
-// Engine is the ADAM model.
+// Engine is the ADAM model. Its activity accumulates in a hwsim
+// counter node named "adam"; the per-generation Report is a view over
+// the same quantities.
 type Engine struct {
 	cfg Config
+	ctr *hwsim.Counters
 }
 
 // New builds an engine.
@@ -103,11 +109,47 @@ func New(cfg Config) *Engine {
 	if cfg.Cols < 1 {
 		cfg.Cols = 1
 	}
-	return &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, ctr: hwsim.New("adam")}
+	macs := float64(e.cfg.MACs())
+	e.ctr.OnSnapshot(func(c *hwsim.Counters) {
+		c.SetFloat("energy_pj", c.FloatValue("mac_energy_pj")+c.FloatValue("sram_energy_pj"))
+		if cc := c.IntValue("compute_cycles"); cc > 0 {
+			util := float64(c.IntValue("useful_macs")) / (float64(cc) * macs)
+			if util > 1 {
+				util = 1
+			}
+			c.SetFloat("utilization", util)
+		}
+	})
+	return e
 }
 
 // Config returns the design point.
 func (e *Engine) Config() Config { return e.cfg }
+
+// Name is the engine's hwsim component name.
+func (e *Engine) Name() string { return "adam" }
+
+// Counters returns the engine's live registry node.
+func (e *Engine) Counters() *hwsim.Counters { return e.ctr }
+
+// Reset zeroes the engine's counters.
+func (e *Engine) Reset() { e.ctr.Reset() }
+
+// publish charges one generation's Report into the registry.
+func (e *Engine) publish(r Report) {
+	c := e.ctr
+	c.AddInt("weight_load_cycles", r.WeightLoadCycles)
+	c.AddInt("pass_cycles", r.PassCycles)
+	c.AddInt("compute_cycles", r.ComputeCycles)
+	c.AddInt("total_cycles", r.TotalCycles)
+	c.AddInt("dense_macs", r.DenseMACs)
+	c.AddInt("useful_macs", r.UsefulMACs)
+	c.AddInt("sram_reads", r.SRAMReads)
+	c.AddInt("sram_writes", r.SRAMWrites)
+	c.AddFloat("mac_energy_pj", r.MACEnergyPJ)
+	c.AddFloat("sram_energy_pj", r.SRAMEnergyPJ)
+}
 
 // stageCycles returns the serial-mode array cycles for one
 // matrix–vector stage: the stage is tiled over the array; each tile
@@ -203,6 +245,7 @@ func (e *Engine) RunGeneration(jobs []Job) Report {
 			r.Utilization = 1
 		}
 	}
+	e.publish(r)
 	return r
 }
 

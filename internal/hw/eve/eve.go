@@ -22,6 +22,7 @@ package eve
 import (
 	"sort"
 
+	"repro/internal/hw/hwsim"
 	"repro/internal/hw/noc"
 	"repro/internal/hw/sram"
 	"repro/internal/neat"
@@ -122,9 +123,14 @@ func (r Report) TotalEnergyPJ() float64 {
 }
 
 // Engine replays traces against a design point and a genome buffer.
+// Its activity accumulates in a hwsim counter node named "eve" with
+// child scopes "pe" (pipeline work) and "noc" (interconnect tally);
+// the per-generation Report is a view over the same quantities.
 type Engine struct {
 	cfg Config
 	buf *sram.Buffer
+	net *noc.Network
+	ctr *hwsim.Counters
 }
 
 // New builds an engine. The buffer may be shared with an ADAM model;
@@ -136,7 +142,23 @@ func New(cfg Config, buf *sram.Buffer) *Engine {
 	if cfg.NumPEs < 1 {
 		cfg.NumPEs = 1
 	}
-	return &Engine{cfg: cfg, buf: buf}
+	e := &Engine{cfg: cfg, buf: buf, net: noc.NewNetwork(cfg.NoC), ctr: hwsim.New("eve")}
+	e.ctr.Adopt(e.net.Counters())
+	numPEs := int64(cfg.NumPEs)
+	e.ctr.OnSnapshot(func(c *hwsim.Counters) {
+		pe := c.Child("pe")
+		c.SetFloat("energy_pj", pe.FloatValue("energy_pj")+
+			c.FloatValue("noc_energy_pj")+c.FloatValue("sram_energy_pj"))
+		if sc := c.IntValue("stream_cycles"); sc > 0 {
+			c.SetFloat("reads_per_cycle", float64(c.IntValue("sram_reads"))/float64(sc))
+			util := float64(pe.IntValue("busy_cycles")) / float64(sc*numPEs)
+			if util > 1 {
+				util = 1
+			}
+			c.SetFloat("utilization", util)
+		}
+	})
+	return e
 }
 
 // Config returns the engine's design point.
@@ -144,6 +166,36 @@ func (e *Engine) Config() Config { return e.cfg }
 
 // Buffer exposes the genome buffer for shared accounting.
 func (e *Engine) Buffer() *sram.Buffer { return e.buf }
+
+// Name is the engine's hwsim component name.
+func (e *Engine) Name() string { return "eve" }
+
+// Counters returns the engine's live registry node.
+func (e *Engine) Counters() *hwsim.Counters { return e.ctr }
+
+// Reset zeroes the engine's counter tree, including the NoC tally.
+// The shared genome buffer is not touched (its owner resets it).
+func (e *Engine) Reset() { e.ctr.Reset() }
+
+// publish charges one generation's Report into the registry. Integer
+// totals accumulate; ratio metrics are re-derived from the running
+// totals at snapshot time.
+func (e *Engine) publish(r Report, busyPECycles int64) {
+	c := e.ctr
+	c.AddInt("selector_cycles", r.SelectorCycles)
+	c.AddInt("stream_cycles", r.StreamCycles)
+	c.AddInt("total_cycles", r.TotalCycles)
+	c.AddInt("waves", int64(r.Waves))
+	c.AddInt("children", int64(r.Children))
+	c.AddInt("sram_reads", r.SRAMReads)
+	c.AddInt("sram_writes", r.SRAMWrites)
+	c.AddFloat("noc_energy_pj", r.NoCEnergyPJ)
+	c.AddFloat("sram_energy_pj", r.SRAMEnergyPJ)
+	pe := c.Child("pe")
+	pe.AddInt("gene_ops", r.GeneOps)
+	pe.AddInt("busy_cycles", busyPECycles)
+	pe.AddFloat("energy_pj", r.PEEnergyPJ)
+}
 
 // pairKey groups children by their parent pair for GLR-aware
 // scheduling.
@@ -196,8 +248,8 @@ func (e *Engine) RunGeneration(g *trace.Generation) Report {
 			streams = append(streams, *s)
 		}
 
-		d := cfg.NoC.Distribute(streams)
-		coll := cfg.NoC.Collect(childGenes)
+		d := e.net.Distribute(streams)
+		coll := e.net.Collect(childGenes)
 		r.SRAMReads += d.SRAMReads
 		r.SRAMWrites += childGenes
 		r.NoCEnergyPJ += d.EnergyPJ + coll.EnergyPJ
@@ -228,6 +280,7 @@ func (e *Engine) RunGeneration(g *trace.Generation) Report {
 			r.Utilization = 1
 		}
 	}
+	e.publish(r, busyPECycles)
 	return r
 }
 

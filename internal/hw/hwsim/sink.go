@@ -1,0 +1,97 @@
+package hwsim
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+)
+
+// Record is one per-generation hardware sample: a snapshot of a
+// component tree tagged with where it came from.
+type Record struct {
+	Workload   string `json:"workload,omitempty"`
+	Run        int    `json:"run,omitempty"`
+	Generation int    `json:"generation"`
+	Report     Report `json:"report"`
+}
+
+// Sink receives per-generation records. Implementations must be safe
+// for concurrent use: study runs record from many goroutines.
+type Sink interface {
+	Record(Record)
+}
+
+// Tagged wraps a Sink, stamping every record with a workload and run
+// index — how a study labels the shared sink per run.
+type Tagged struct {
+	Sink     Sink
+	Workload string
+	Run      int
+}
+
+// Record stamps and forwards.
+func (t Tagged) Record(r Record) {
+	if t.Workload != "" {
+		r.Workload = t.Workload
+	}
+	r.Run = t.Run
+	t.Sink.Record(r)
+}
+
+// Log is an in-memory Sink. It is safe for concurrent recording.
+type Log struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// Record appends one record.
+func (l *Log) Record(r Record) {
+	l.mu.Lock()
+	l.recs = append(l.recs, r)
+	l.mu.Unlock()
+}
+
+// Len returns the number of records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// Records returns a copy of the log sorted by (workload, run,
+// generation) — a deterministic order regardless of the goroutine
+// interleaving that produced it.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	out := append([]Record(nil), l.recs...)
+	l.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Workload != out[j].Workload {
+			return out[i].Workload < out[j].Workload
+		}
+		if out[i].Run != out[j].Run {
+			return out[i].Run < out[j].Run
+		}
+		return out[i].Generation < out[j].Generation
+	})
+	return out
+}
+
+// Series extracts one counter (by slash path relative to each record's
+// report root) across the sorted records — one float per record that
+// has the counter. This is the bridge from the record stream into the
+// stats package.
+func (l *Log) Series(path string) []float64 {
+	var out []float64
+	for _, rec := range l.Records() {
+		if v, ok := rec.Report.Value(path); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// JSON renders the sorted records as an indented JSON array.
+func (l *Log) JSON() ([]byte, error) {
+	return json.MarshalIndent(l.Records(), "", "  ")
+}

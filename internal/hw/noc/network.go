@@ -1,0 +1,58 @@
+package noc
+
+import "repro/internal/hw/hwsim"
+
+// Network is a stateful interconnect: a Config plus a hwsim counter
+// tally, so the NoC's traffic and energy appear as a node ("noc") in a
+// component tree. Config stays a pure pricing function; Network is the
+// accountable block an engine mounts.
+type Network struct {
+	cfg Config
+	ctr *hwsim.Counters
+}
+
+// NewNetwork wraps a Config with a counter node.
+func NewNetwork(cfg Config) *Network {
+	n := &Network{cfg: cfg, ctr: hwsim.New("noc")}
+	n.ctr.OnSnapshot(func(c *hwsim.Counters) {
+		if cyc := c.IntValue("cycles"); cyc > 0 {
+			c.SetFloat("reads_per_cycle",
+				float64(c.IntValue("sram_reads"))/float64(cyc))
+		}
+	})
+	return n
+}
+
+// Config returns the interconnect parameters.
+func (n *Network) Config() Config { return n.cfg }
+
+// Name is the hwsim component name.
+func (n *Network) Name() string { return "noc" }
+
+// Counters returns the live registry node.
+func (n *Network) Counters() *hwsim.Counters { return n.ctr }
+
+// Reset zeroes the tally.
+func (n *Network) Reset() { n.ctr.Reset() }
+
+// Distribute prices one wave of parent-gene distribution and charges
+// it to the tally.
+func (n *Network) Distribute(streams []Stream) Delivery {
+	d := n.cfg.Distribute(streams)
+	n.charge(d)
+	return d
+}
+
+// Collect prices child-gene collection and charges it to the tally.
+func (n *Network) Collect(childGenes int64) Delivery {
+	d := n.cfg.Collect(childGenes)
+	n.charge(d)
+	return d
+}
+
+func (n *Network) charge(d Delivery) {
+	n.ctr.AddInt("sram_reads", d.SRAMReads)
+	n.ctr.AddInt("deliveries", d.Deliveries)
+	n.ctr.AddInt("cycles", d.Cycles)
+	n.ctr.AddFloat("energy_pj", d.EnergyPJ)
+}

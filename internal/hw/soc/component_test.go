@@ -1,0 +1,119 @@
+package soc
+
+import (
+	"testing"
+
+	"repro/internal/hw/adam"
+	"repro/internal/hw/energy"
+	"repro/internal/hw/eve"
+	"repro/internal/hw/hwsim"
+	"repro/internal/hw/noc"
+	"repro/internal/hw/sram"
+)
+
+// Compile-time conformance: every hardware block in the stack is a
+// hwsim.Component.
+var (
+	_ hwsim.Component = (*SoC)(nil)
+	_ hwsim.Component = (*eve.Engine)(nil)
+	_ hwsim.Component = (*adam.Engine)(nil)
+	_ hwsim.Component = (*sram.Buffer)(nil)
+	_ hwsim.Component = (*noc.Network)(nil)
+	_ hwsim.Component = (*energy.Model)(nil)
+)
+
+// TestSnapshotMatchesGenerationReport pins the registry to the legacy
+// report structs: after one generation on a fresh chip, every value the
+// GenerationReport carries must be readable — bit-identical — from the
+// counter tree. This is the numeric-equivalence contract that lets the
+// experiment generators traverse the registry instead of struct fields.
+func TestSnapshotMatchesGenerationReport(t *testing.T) {
+	jobs, gen, footprint := evolveWorkload(t, "cartpole", 30)
+	s := New(energy.DefaultSoC())
+	r := s.RunGeneration(jobs, gen, footprint)
+	rep := s.Snapshot()
+
+	ints := map[string]int64{
+		"generations":               1,
+		"scratchpad_to_adam_cycles": r.ScratchpadToADAMCycles,
+		"adam_to_scratchpad_cycles": r.ADAMToScratchpadCycles,
+		"inference_compute_cycles":  r.InferenceComputeCycles,
+		"total_cycles":              r.TotalCycles,
+		"overlapped_cycles":         r.OverlappedCycles,
+		"footprint_bytes":           int64(r.FootprintBytes),
+		"spills":                    0,
+		"eve/total_cycles":          r.Evolution.TotalCycles,
+		"eve/selector_cycles":       r.Evolution.SelectorCycles,
+		"eve/stream_cycles":         r.Evolution.StreamCycles,
+		"eve/waves":                 int64(r.Evolution.Waves),
+		"eve/children":              int64(r.Evolution.Children),
+		"eve/sram_reads":            r.Evolution.SRAMReads,
+		"eve/sram_writes":           r.Evolution.SRAMWrites,
+		"eve/pe/gene_ops":           r.Evolution.GeneOps,
+		"adam/total_cycles":         r.Inference.TotalCycles,
+		"adam/pass_cycles":          r.Inference.PassCycles,
+		"adam/compute_cycles":       r.Inference.ComputeCycles,
+		"adam/weight_load_cycles":   r.Inference.WeightLoadCycles,
+		"adam/dense_macs":           r.Inference.DenseMACs,
+		"adam/useful_macs":          r.Inference.UsefulMACs,
+		"adam/sram_reads":           r.Inference.SRAMReads,
+		"adam/sram_writes":          r.Inference.SRAMWrites,
+	}
+	for path, want := range ints {
+		if got := rep.Int(path); got != want {
+			t.Errorf("%s = %d, want %d", path, got, want)
+		}
+	}
+	floats := map[string]float64{
+		"total_seconds":          r.TotalSeconds,
+		"energy_pj":              r.TotalEnergyPJ,
+		"average_power_mw":       r.AveragePowerMW,
+		"data_movement_fraction": r.DataMovementFraction(),
+		"eve/energy_pj":          r.Evolution.TotalEnergyPJ(),
+		"eve/noc_energy_pj":      r.Evolution.NoCEnergyPJ,
+		"eve/sram_energy_pj":     r.Evolution.SRAMEnergyPJ,
+		"eve/pe/energy_pj":       r.Evolution.PEEnergyPJ,
+		"eve/utilization":        r.Evolution.Utilization,
+		"adam/energy_pj":         r.Inference.TotalEnergyPJ(),
+		"adam/mac_energy_pj":     r.Inference.MACEnergyPJ,
+		"adam/sram_energy_pj":    r.Inference.SRAMEnergyPJ,
+		"adam/utilization":       r.Inference.Utilization,
+	}
+	for path, want := range floats {
+		if got := rep.Float(path); got != want {
+			t.Errorf("%s = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestResetGivesPerGenerationLedgers checks that Reset between
+// generations makes consecutive snapshots independent: the second
+// snapshot reflects only the second generation, and statics (tech
+// areas, sram capacity) survive the reset.
+func TestResetGivesPerGenerationLedgers(t *testing.T) {
+	jobs, gen, footprint := evolveWorkload(t, "cartpole", 30)
+	s := New(energy.DefaultSoC())
+
+	s.RunGeneration(jobs, gen, footprint)
+	first := s.Snapshot()
+	s.Reset()
+	r2 := s.RunGeneration(jobs, gen, footprint)
+	second := s.Snapshot()
+
+	if g := second.Int("generations"); g != 1 {
+		t.Fatalf("second ledger counts %d generations, want 1", g)
+	}
+	if got, want := second.Int("total_cycles"), r2.TotalCycles; got != want {
+		t.Fatalf("second ledger total_cycles %d, want %d", got, want)
+	}
+	if first.Int("total_cycles") != second.Int("total_cycles") {
+		t.Fatalf("same generation replayed, ledgers differ: %d vs %d",
+			first.Int("total_cycles"), second.Int("total_cycles"))
+	}
+	if a := second.Float("tech/area/total_mm2"); a <= 0 {
+		t.Fatalf("tech statics lost across reset: total area %v", a)
+	}
+	if c := second.Int("sram/capacity_words"); c <= 0 {
+		t.Fatalf("sram capacity lost across reset: %d", c)
+	}
+}

@@ -9,17 +9,24 @@ import (
 	"repro/internal/hw/adam"
 	"repro/internal/hw/energy"
 	"repro/internal/hw/eve"
+	"repro/internal/hw/hwsim"
 	"repro/internal/hw/noc"
 	"repro/internal/hw/sram"
 	"repro/internal/trace"
 )
 
-// SoC is one configured GeneSys chip.
+// SoC is one configured GeneSys chip. It is the root of a hwsim
+// component tree: its "soc" counter node adopts the EvE ("soc/eve",
+// with "soc/eve/pe" and "soc/eve/noc" below it), ADAM ("soc/adam"),
+// genome buffer ("soc/sram") and static technology ("soc/tech") nodes,
+// so one snapshot yields the full chip ledger.
 type SoC struct {
 	Cfg  energy.SoCConfig
 	EvE  *eve.Engine
 	ADAM *adam.Engine
 	Buf  *sram.Buffer
+
+	ctr *hwsim.Counters
 }
 
 // New builds the SoC for a design point.
@@ -42,13 +49,41 @@ func New(cfg energy.SoCConfig) *SoC {
 	acfg.Rows, acfg.Cols = cfg.ADAMRows, cfg.ADAMCols
 	acfg.MACEnergyPJ = cfg.Tech.EMAC
 	acfg.SRAMAccessPJ = cfg.Tech.ESRAMAccess
-	return &SoC{
+	s := &SoC{
 		Cfg:  cfg,
 		EvE:  eve.New(ecfg, buf),
 		ADAM: adam.New(acfg),
 		Buf:  buf,
+		ctr:  hwsim.New("soc"),
 	}
+	s.ctr.Adopt(s.EvE.Counters())
+	s.ctr.Adopt(s.ADAM.Counters())
+	s.ctr.Adopt(buf.Counters())
+	s.ctr.Adopt(energy.NewModel(cfg).Counters())
+	s.ctr.OnSnapshot(func(c *hwsim.Counters) {
+		move := c.IntValue("scratchpad_to_adam_cycles") + c.IntValue("adam_to_scratchpad_cycles")
+		if total := move + c.IntValue("inference_compute_cycles"); total > 0 {
+			c.SetFloat("data_movement_fraction", float64(move)/float64(total))
+		}
+		if sec := c.FloatValue("total_seconds"); sec > 0 {
+			c.SetFloat("average_power_mw", c.FloatValue("energy_pj")/sec*1e-9)
+		}
+	})
+	return s
 }
+
+// Name is the chip's hwsim component name.
+func (s *SoC) Name() string { return "soc" }
+
+// Counters returns the live root of the chip's counter tree.
+func (s *SoC) Counters() *hwsim.Counters { return s.ctr }
+
+// Reset zeroes the whole tree (every component) for a fresh
+// accounting interval, e.g. per-generation snapshots.
+func (s *SoC) Reset() { s.ctr.Reset() }
+
+// Snapshot returns the full chip ledger as a structured report tree.
+func (s *SoC) Snapshot() hwsim.Report { return s.ctr.Snapshot() }
 
 // GenerationReport accounts one full generation on the SoC.
 type GenerationReport struct {
@@ -134,5 +169,25 @@ func (s *SoC) RunGeneration(jobs []adam.Job, g *trace.Generation, footprintBytes
 		// pJ / s = pW; convert to mW.
 		r.AveragePowerMW = r.TotalEnergyPJ / r.TotalSeconds * 1e-9
 	}
+	s.publish(r)
 	return r
+}
+
+// publish charges the SoC-level quantities of one generation into the
+// registry (component-level quantities were charged by EvE/ADAM/the
+// buffer as they ran).
+func (s *SoC) publish(r GenerationReport) {
+	c := s.ctr
+	c.AddInt("generations", 1)
+	c.AddInt("scratchpad_to_adam_cycles", r.ScratchpadToADAMCycles)
+	c.AddInt("adam_to_scratchpad_cycles", r.ADAMToScratchpadCycles)
+	c.AddInt("inference_compute_cycles", r.InferenceComputeCycles)
+	c.AddInt("total_cycles", r.TotalCycles)
+	c.AddInt("overlapped_cycles", r.OverlappedCycles)
+	c.AddFloat("total_seconds", r.TotalSeconds)
+	c.AddFloat("energy_pj", r.TotalEnergyPJ)
+	c.SetInt("footprint_bytes", int64(r.FootprintBytes))
+	if r.Spilled {
+		c.AddInt("spills", 1)
+	}
 }

@@ -8,10 +8,16 @@
 // The model is an activity counter with bank-conflict accounting: the
 // cycle models present their per-cycle access demand and the buffer
 // reports how many cycles the banks need to serve it, while tallying
-// accesses and energy.
+// accesses and energy. All activity lives in a hwsim counter node named
+// "sram", so the buffer slots directly into a SoC component tree.
 package sram
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/hw/hwsim"
+)
 
 // Config fixes the buffer geometry.
 type Config struct {
@@ -33,16 +39,23 @@ func (c Config) CapacityWords() int { return c.Banks * c.Depth }
 func (c Config) CapacityBytes() int { return c.CapacityWords() * 8 }
 
 // Buffer is the genome buffer activity model.
+//
+// Concurrency contract: Read, Write and every counter getter are safe
+// for concurrent use (counters are atomic), so parallel design-point
+// sweeps can charge one shared buffer without corruption. SetResidency
+// is atomic too, but is not ordered with in-flight accesses — declare
+// the generation's working set before issuing its accesses.
 type Buffer struct {
 	cfg Config
+	ctr *hwsim.Counters
 
-	reads, writes int64
+	reads, writes *hwsim.Int
 	// conflictCycles counts extra cycles lost to bank conflicts.
-	conflictCycles int64
+	conflictCycles *hwsim.Int
 	// spillWords counts accesses that missed on-chip capacity and went
 	// to DRAM ("backed by DRAM for cases when the genomes do not fit").
-	spillWords int64
-	residency  int // words currently allocated
+	spillWords *hwsim.Int
+	residency  atomic.Int64 // words currently allocated
 }
 
 // New returns an empty buffer with the given geometry.
@@ -53,11 +66,26 @@ func New(cfg Config) *Buffer {
 	if cfg.PortsEach <= 0 {
 		cfg.PortsEach = 1
 	}
-	return &Buffer{cfg: cfg}
+	b := &Buffer{cfg: cfg, ctr: hwsim.New("sram")}
+	b.reads = b.ctr.Int("reads")
+	b.writes = b.ctr.Int("writes")
+	b.conflictCycles = b.ctr.Int("conflict_cycles")
+	b.spillWords = b.ctr.Int("spill_words")
+	b.ctr.OnSnapshot(func(c *hwsim.Counters) {
+		c.SetFloat("energy_pj", b.EnergyPJ())
+		c.SetInt("capacity_words", int64(cfg.CapacityWords()))
+	})
+	return b
 }
 
 // Config returns the geometry.
 func (b *Buffer) Config() Config { return b.cfg }
+
+// Name is the buffer's hwsim component name.
+func (b *Buffer) Name() string { return "sram" }
+
+// Counters returns the buffer's live registry node.
+func (b *Buffer) Counters() *hwsim.Counters { return b.ctr }
 
 // SetResidency declares how many words the current generation occupies;
 // accesses beyond capacity are charged as DRAM spills.
@@ -65,19 +93,22 @@ func (b *Buffer) SetResidency(words int) {
 	if words < 0 {
 		words = 0
 	}
-	b.residency = words
+	b.residency.Store(int64(words))
 }
 
 // Resident reports whether the declared working set fits on-chip.
-func (b *Buffer) Resident() bool { return b.residency <= b.cfg.CapacityWords() }
+func (b *Buffer) Resident() bool {
+	return b.residency.Load() <= int64(b.cfg.CapacityWords())
+}
 
 // spillFraction is the fraction of the working set that lives off-chip.
 func (b *Buffer) spillFraction() float64 {
-	cap := b.cfg.CapacityWords()
-	if b.residency <= cap || b.residency == 0 {
+	cap := int64(b.cfg.CapacityWords())
+	res := b.residency.Load()
+	if res <= cap || res == 0 {
 		return 0
 	}
-	return float64(b.residency-cap) / float64(b.residency)
+	return float64(res-cap) / float64(res)
 }
 
 // Read charges n word reads spread across banks and returns the cycles
@@ -98,43 +129,43 @@ func (b *Buffer) access(n int64, write bool) int64 {
 		return 0
 	}
 	if write {
-		b.writes += n
+		b.writes.Add(n)
 	} else {
-		b.reads += n
+		b.reads.Add(n)
 	}
 	spilled := int64(float64(n) * b.spillFraction())
-	b.spillWords += spilled
+	b.spillWords.Add(spilled)
 
 	bw := int64(b.cfg.Banks * b.cfg.PortsEach)
 	cycles := (n + bw - 1) / bw
 	// Perfectly interleaved streams would finish in n/bw cycles; the
 	// residual partial cycle is the conflict cost we account.
 	ideal := n / bw
-	b.conflictCycles += cycles - ideal
+	b.conflictCycles.Add(cycles - ideal)
 	return cycles
 }
 
 // ReadCount returns total word reads so far.
-func (b *Buffer) ReadCount() int64 { return b.reads }
+func (b *Buffer) ReadCount() int64 { return b.reads.Load() }
 
 // WriteCount returns total word writes so far.
-func (b *Buffer) WriteCount() int64 { return b.writes }
+func (b *Buffer) WriteCount() int64 { return b.writes.Load() }
 
 // SpillWords returns accesses served by DRAM due to capacity misses.
-func (b *Buffer) SpillWords() int64 { return b.spillWords }
+func (b *Buffer) SpillWords() int64 { return b.spillWords.Load() }
 
 // ConflictCycles returns cycles lost to partial-bandwidth cycles.
-func (b *Buffer) ConflictCycles() int64 { return b.conflictCycles }
+func (b *Buffer) ConflictCycles() int64 { return b.conflictCycles.Load() }
 
 // EnergyPJ returns the access energy consumed so far. DRAM spills are
 // charged at 100× the SRAM access energy (the usual off-chip ratio).
 func (b *Buffer) EnergyPJ() float64 {
-	onChip := float64(b.reads+b.writes-b.spillWords) * b.cfg.AccessPJ
-	offChip := float64(b.spillWords) * b.cfg.AccessPJ * 100
+	onChip := float64(b.reads.Load()+b.writes.Load()-b.spillWords.Load()) * b.cfg.AccessPJ
+	offChip := float64(b.spillWords.Load()) * b.cfg.AccessPJ * 100
 	return onChip + offChip
 }
 
 // Reset clears the activity counters (not the residency).
 func (b *Buffer) Reset() {
-	b.reads, b.writes, b.conflictCycles, b.spillWords = 0, 0, 0, 0
+	b.ctr.Reset()
 }

@@ -1,6 +1,7 @@
 package sram
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -88,6 +89,75 @@ func TestBadGeometryPanics(t *testing.T) {
 		}
 	}()
 	New(Config{Banks: 0, Depth: 10})
+}
+
+func TestSpillPartialResidency(t *testing.T) {
+	b := New(DefaultConfig())
+	// 4/3 of capacity resident: a quarter of every access spills.
+	b.SetResidency(4 * b.Config().CapacityWords() / 3)
+	b.Read(1200)
+	if got := b.SpillWords(); got < 295 || got > 305 {
+		t.Fatalf("spilled %d of 1200 at 25%% overflow, want ~300", got)
+	}
+	// Residency survives Reset; only the activity tally clears.
+	b.Reset()
+	if b.SpillWords() != 0 {
+		t.Fatal("reset kept spill tally")
+	}
+	b.Read(1200)
+	if b.SpillWords() == 0 {
+		t.Fatal("reset dropped the declared residency")
+	}
+}
+
+func TestConcurrentAccessSafe(t *testing.T) {
+	// The documented contract: Read/Write and the getters are safe for
+	// concurrent use. Run under -race and check nothing is lost.
+	b := New(DefaultConfig())
+	const workers, each = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				b.Read(3)
+				b.Write(2)
+				_ = b.EnergyPJ()
+			}
+		}()
+	}
+	wg.Wait()
+	if b.ReadCount() != workers*each*3 || b.WriteCount() != workers*each*2 {
+		t.Fatalf("lost updates: reads %d writes %d", b.ReadCount(), b.WriteCount())
+	}
+	if want := float64(workers*each*5) * b.Config().AccessPJ; b.EnergyPJ() != want {
+		t.Fatalf("energy %v, want %v", b.EnergyPJ(), want)
+	}
+}
+
+func TestCounterNodeMirrorsGetters(t *testing.T) {
+	b := New(DefaultConfig())
+	b.SetResidency(2 * b.Config().CapacityWords())
+	b.Read(100)
+	b.Write(60)
+	rep := b.Counters().Snapshot()
+	if rep.Name != "sram" {
+		t.Fatalf("component name %q", rep.Name)
+	}
+	if rep.Int("reads") != b.ReadCount() || rep.Int("writes") != b.WriteCount() {
+		t.Fatalf("registry reads/writes %d/%d vs getters %d/%d",
+			rep.Int("reads"), rep.Int("writes"), b.ReadCount(), b.WriteCount())
+	}
+	if rep.Int("spill_words") != b.SpillWords() {
+		t.Fatalf("registry spill %d vs getter %d", rep.Int("spill_words"), b.SpillWords())
+	}
+	if rep.Float("energy_pj") != b.EnergyPJ() {
+		t.Fatalf("registry energy %v vs getter %v", rep.Float("energy_pj"), b.EnergyPJ())
+	}
+	if rep.Int("capacity_words") != int64(b.Config().CapacityWords()) {
+		t.Fatalf("capacity %d", rep.Int("capacity_words"))
+	}
 }
 
 // Property: cycles returned are always ceil(n / bandwidth).

@@ -1,0 +1,32 @@
+#!/bin/sh
+# check.sh — the repository's local verification gate.
+#
+# Runs, in order: gofmt (fails on any unformatted file), go vet, a full
+# build, the full test suite, and the race detector over the packages
+# that exercise concurrency (the evolve study pool and the hardware
+# counter registry).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "unformatted files:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (evolve, hw)"
+go test -race ./internal/evolve/ ./internal/hw/...
+
+echo "ok"
