@@ -12,6 +12,7 @@ package repro
 //   - quantized (hardware) vs full-precision inference fidelity.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -38,7 +39,7 @@ func ablationTrace(b *testing.B) *trace.Generation {
 	}
 	tr := &trace.Trace{}
 	r.SetRecorder(tr)
-	if _, err := r.Run(2); err != nil {
+	if _, err := r.Run(context.Background(), 2); err != nil {
 		b.Fatal(err)
 	}
 	return tr.Last()
@@ -119,7 +120,7 @@ func BenchmarkAblation_Speciation(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := r.Run(15); err != nil {
+		if _, err := r.Run(context.Background(), 15); err != nil {
 			b.Fatal(err)
 		}
 		return r.Last().MaxFitness
@@ -144,7 +145,7 @@ func BenchmarkAblation_NodeIDAssignment(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := r.Run(10); err != nil {
+		if _, err := r.Run(context.Background(), 10); err != nil {
 			b.Fatal(err)
 		}
 		return r.Last().MaxFitness, r.Last().TotalGenes

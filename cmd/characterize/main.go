@@ -11,12 +11,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/evolve"
+	"repro/internal/experiments"
 	"repro/internal/hw/hwsim"
 	"repro/internal/neat"
 	"repro/internal/stats"
@@ -46,18 +51,48 @@ func main() {
 		traceOut    = flag.String("trace", "", "write the reproduction trace to this file")
 		runs        = flag.Int("runs", 1, "independent runs; >1 prints the convergence study instead of per-generation rows")
 		recordsOut  = flag.String("records", "", "write per-generation counter records to this file as JSON")
+		resilience  = flag.Bool("resilience", false, "run the fault-rate resilience sweep for the workload instead of the characterization")
+		ckptDir     = flag.String("checkpoint-dir", "", "directory for per-run population checkpoints; an interrupted study resumes from them")
+		ckptEvery   = flag.Int("checkpoint-every", 5, "checkpoint interval in generations (with -checkpoint-dir)")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the study at the next generation boundary; the
+	// partial results, records and checkpoints below still flush.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := neat.DefaultConfig(1, 1)
 	cfg.PopulationSize = *pop
 	log := &hwsim.Log{}
 
-	if *runs > 1 {
-		study, err := evolve.RunStudyWithSink(*workload, cfg, *runs, *generations, *seed, log)
+	if *resilience {
+		res, err := experiments.ResilienceFor(*workload, experiments.Options{
+			Seed:           *seed,
+			MaxGenerations: *generations,
+			Population:     *pop,
+			Ctx:            ctx,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "characterize:", err)
 			os.Exit(1)
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "characterize:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *runs > 1 {
+		study, err := evolve.RunStudyContext(ctx, *workload, cfg, *runs, *generations, *seed,
+			evolve.StudyOptions{Sink: log, CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery})
+		if err != nil && !errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "characterize:", err)
+			os.Exit(1)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "characterize: interrupted; partial study follows (resume with the same -checkpoint-dir)")
 		}
 		fmt.Printf("%s: %d runs × up to %d generations (pop %d)\n",
 			*workload, *runs, *generations, *pop)
@@ -85,6 +120,10 @@ func main() {
 		"gen", "max-fit", "mean-fit", "species", "genes", "xover", "mutation", "reuse", "foot-KB")
 	var ops, reuse, foot []float64
 	for g := 0; g < *generations; g++ {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "characterize: interrupted; flushing partial results")
+			break
+		}
 		st, err := r.Step()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "characterize:", err)

@@ -11,10 +11,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/experiments"
 )
@@ -37,6 +41,11 @@ func main() {
 		return
 	}
 
+	// Ctrl-C cancels the in-flight experiment; completed experiments
+	// have already been rendered.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opt := experiments.Options{
 		Seed:           *seed,
 		Runs:           *runs,
@@ -44,6 +53,7 @@ func main() {
 		Population:     *pop,
 		RAMPopulation:  *ramPop,
 		RAMGenerations: *ramGens,
+		Ctx:            ctx,
 	}
 
 	ids := []string{*run}
@@ -52,8 +62,16 @@ func main() {
 	}
 	failed := false
 	for _, id := range ids {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted")
+			os.Exit(1)
+		}
 		res, err := experiments.Run(id, opt)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "experiments: %s: interrupted\n", id)
+				os.Exit(1)
+			}
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
 			failed = true
 			continue

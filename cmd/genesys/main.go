@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/evolve"
@@ -31,8 +34,13 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C stops the loop at the next generation boundary; the
+	// summary (and -save genome) below still run on the partial state.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *functional {
-		runFunctional(*workload, *pop, *generations, *seed, *quiet)
+		runFunctional(ctx, *workload, *pop, *generations, *seed, *quiet)
 		return
 	}
 
@@ -50,6 +58,10 @@ func main() {
 	fmt.Printf("evolving %s: pop=%d budget=%d generations, target fitness %.1f\n",
 		*workload, *pop, *generations, sys.Workload().Target)
 	for g := 0; g < *generations; g++ {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "genesys: interrupted; reporting partial run")
+			break
+		}
 		res, err := sys.RunGeneration()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "genesys:", err)
@@ -107,7 +119,7 @@ func main() {
 
 // runFunctional drives the functional-datapath loop: inference on the
 // simulated systolic array, reproduction through the PE pipeline.
-func runFunctional(workload string, pop, generations int, seed uint64, quiet bool) {
+func runFunctional(ctx context.Context, workload string, pop, generations int, seed uint64, quiet bool) {
 	sys, err := core.NewFunctional(workload, pop, seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "genesys:", err)
@@ -115,6 +127,10 @@ func runFunctional(workload string, pop, generations int, seed uint64, quiet boo
 	}
 	fmt.Printf("evolving %s on the functional datapath (pop=%d)\n", workload, pop)
 	for g := 0; g < generations; g++ {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "genesys: interrupted")
+			return
+		}
 		st, err := sys.RunGeneration()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "genesys:", err)

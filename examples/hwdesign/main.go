@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 	}
 	tr := &trace.Trace{}
 	r.SetRecorder(tr)
-	if _, err := r.Run(3); err != nil {
+	if _, err := r.Run(context.Background(), 3); err != nil {
 		log.Fatal(err)
 	}
 	g := tr.Last()

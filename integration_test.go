@@ -6,6 +6,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -72,7 +73,7 @@ func TestTraceDrivenReplayMatchesLiveCounters(t *testing.T) {
 	}
 	tr := &trace.Trace{}
 	r.SetRecorder(tr)
-	if _, err := r.Run(3); err != nil {
+	if _, err := r.Run(context.Background(), 3); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,6 +1,7 @@
 package evolve
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/neat"
@@ -108,7 +109,7 @@ func TestFitnessImprovesOnCartPole(t *testing.T) {
 		t.Fatal(err)
 	}
 	first := r.History[0].MaxFitness
-	solved, err := r.Run(25)
+	solved, err := r.Run(context.Background(), 25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestHistoryAccumulates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Run(3); err != nil {
+	if _, err := r.Run(context.Background(), 3); err != nil {
 		t.Fatal(err)
 	}
 	if len(r.History) == 0 || len(r.History) > 3 {

@@ -1,7 +1,10 @@
 package evolve
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 
@@ -98,6 +101,14 @@ type Runner struct {
 	// generation (the GenStats counter tree), tagged with the workload
 	// name.
 	Sink hwsim.Sink
+	// CheckpointPath, together with CheckpointEvery, makes Run persist
+	// the population to this file at generation boundaries (atomic
+	// temp-file + rename, so a crash mid-write never corrupts the last
+	// good checkpoint) and on context cancellation.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint interval in generations; 0
+	// disables periodic checkpoints.
+	CheckpointEvery int
 
 	name     string
 	opCounts neat.OpCounts
@@ -173,7 +184,7 @@ func (r *Runner) EvaluateGeneration() (envSteps, macs, updates int64, err error)
 			}
 			shaper := r.Workload.NewShaper()
 			for idx := range jobs {
-				res := r.evaluateGenome(e, shaper, genomes[idx])
+				res := r.safeEvaluate(e, shaper, genomes[idx])
 				res.idx = idx
 				results <- res
 			}
@@ -196,6 +207,18 @@ func (r *Runner) EvaluateGeneration() (envSteps, macs, updates int64, err error)
 		updates += res.updates
 	}
 	return envSteps, macs, updates, nil
+}
+
+// safeEvaluate shields the worker pool from a panicking fitness
+// evaluation: the panic surfaces as that genome's evaluation error
+// instead of unwinding the worker goroutine and killing the process.
+func (r *Runner) safeEvaluate(e env.Env, shaper Shaper, g *gene.Genome) (res evalResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = evalResult{err: fmt.Errorf("genome %d: evaluation panic: %v", g.ID, p)}
+		}
+	}()
+	return r.evaluateGenome(e, shaper, g)
 }
 
 // evaluateGenome runs the workload's episodes for one genome.
@@ -291,10 +314,25 @@ func (r *Runner) Step() (GenStats, error) {
 	return st, nil
 }
 
-// Run executes up to maxGenerations steps, stopping early when the
-// target fitness is reached. It reports whether the task was solved.
-func (r *Runner) Run(maxGenerations int) (bool, error) {
-	for g := 0; g < maxGenerations; g++ {
+// Run executes steps until the population reaches maxGenerations,
+// stopping early when the target fitness is reached or ctx is
+// cancelled. The loop is bounded by the population's own generation
+// counter (not a local one), so a runner restored from a checkpoint
+// continues where the interrupted run stopped rather than replaying
+// the full budget. It reports whether the task was solved; a
+// cancellation returns ctx.Err() after a final checkpoint (when
+// checkpointing is configured), so the run can resume at the exact
+// boundary it was cut at.
+func (r *Runner) Run(ctx context.Context, maxGenerations int) (bool, error) {
+	for r.Pop.Generation < maxGenerations {
+		if err := ctx.Err(); err != nil {
+			if r.CheckpointPath != "" {
+				if serr := r.SaveCheckpoint(r.CheckpointPath); serr != nil {
+					return false, errors.Join(err, serr)
+				}
+			}
+			return false, err
+		}
 		st, err := r.Step()
 		if err != nil {
 			return false, err
@@ -302,8 +340,59 @@ func (r *Runner) Run(maxGenerations int) (bool, error) {
 		if st.Solved {
 			return true, nil
 		}
+		if r.CheckpointPath != "" && r.CheckpointEvery > 0 &&
+			r.Pop.Generation%r.CheckpointEvery == 0 {
+			if err := r.SaveCheckpoint(r.CheckpointPath); err != nil {
+				return false, fmt.Errorf("checkpoint: %w", err)
+			}
+		}
 	}
 	return false, nil
+}
+
+// SaveCheckpoint atomically persists the population state: the JSON is
+// written to a temp file in the target directory and renamed over
+// path, so an interrupted save leaves the previous checkpoint intact.
+func (r *Runner) SaveCheckpoint(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := r.Pop.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// RestoreCheckpoint replaces the runner's population with the state
+// saved at path and rewires the reproduction recorders. Because the
+// checkpoint carries the PRNG stream and evaluation seeds derive from
+// (runner seed, generation, genome, episode), the restored run
+// continues bit-identically to the uninterrupted one.
+func (r *Runner) RestoreCheckpoint(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	pop, err := neat.Restore(f, r.seed)
+	if err != nil {
+		return err
+	}
+	r.Pop = pop
+	if r.extraRec != nil {
+		pop.SetRecorder(neat.MultiRecorder(&r.opCounts, r.extraRec))
+	} else {
+		pop.SetRecorder(&r.opCounts)
+	}
+	return nil
 }
 
 // Last returns the most recent generation stats (zero value if none).

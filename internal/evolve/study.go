@@ -1,8 +1,11 @@
 package evolve
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 
@@ -29,20 +32,61 @@ type Study struct {
 	Results  []StudyResult
 }
 
-// RunStudy executes runs independent evolutions with seeds seed+run,
-// each up to maxGenerations. Concurrency is capped by a worker
-// semaphore (runtime.NumCPU slots) rather than one unbounded goroutine
-// per run, and every run's error is aggregated with errors.Join — a
-// failing seed no longer masks failures in later runs.
-func RunStudy(workload string, cfg neat.Config, runs, maxGenerations int, seed uint64) (*Study, error) {
-	return RunStudyWithSink(workload, cfg, runs, maxGenerations, seed, nil)
+// RunSeed derives the seed of one study run from the study's base
+// seed: a splitmix64 finalizer over base + (run+1)·golden-ratio. The
+// old scheme (base + run·7919) made runs of nearby user-chosen seeds
+// share streams — base 7919 run 0 replayed base 0 run 1 exactly. The
+// mix decorrelates every (base, run) pair while staying a pure
+// function of both, so studies remain reproducible.
+func RunSeed(base uint64, run int) uint64 {
+	x := base + 0x9E3779B97F4A7C15*uint64(run+1)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
 }
 
-// RunStudyWithSink is RunStudy with per-generation records flowing to
-// sink (which may be nil). Each run's records are tagged with the
-// workload name and run index; the sink must be safe for concurrent
-// use (hwsim.Log is).
-func RunStudyWithSink(workload string, cfg neat.Config, runs, maxGenerations int, seed uint64, sink hwsim.Sink) (*Study, error) {
+// StudyOptions tunes RunStudyContext beyond the required parameters.
+type StudyOptions struct {
+	// Sink receives per-generation records, tagged with the workload
+	// name and run index; it must be safe for concurrent use
+	// (hwsim.Log is). Nil discards.
+	Sink hwsim.Sink
+	// CheckpointDir, when set with CheckpointEvery, makes every run
+	// checkpoint its population to <dir>/<workload>-run<NNN>.ckpt and
+	// resume from that file when it already exists — an interrupted
+	// study picks up each run at its last generation boundary.
+	CheckpointDir string
+	// CheckpointEvery is the per-run checkpoint interval in
+	// generations; 0 disables periodic checkpoints (a cancelled run
+	// still saves a final checkpoint when CheckpointDir is set).
+	CheckpointEvery int
+}
+
+// RunStudy executes runs independent evolutions, each up to
+// maxGenerations, with per-run seeds derived by RunSeed. Concurrency
+// is capped by a worker semaphore (runtime.NumCPU slots) rather than
+// one unbounded goroutine per run, and every run's error is aggregated
+// with errors.Join — a failing seed no longer masks failures in later
+// runs.
+func RunStudy(workload string, cfg neat.Config, runs, maxGenerations int, seed uint64) (*Study, error) {
+	return RunStudyContext(context.Background(), workload, cfg, runs, maxGenerations, seed, StudyOptions{})
+}
+
+// RunStudyWithSink is RunStudy with cancellation and per-generation
+// records flowing to sink (which may be nil).
+func RunStudyWithSink(ctx context.Context, workload string, cfg neat.Config, runs, maxGenerations int, seed uint64, sink hwsim.Sink) (*Study, error) {
+	return RunStudyContext(ctx, workload, cfg, runs, maxGenerations, seed, StudyOptions{Sink: sink})
+}
+
+// RunStudyContext is the full-control study entry point: cancellation
+// via ctx, per-generation records, and per-run checkpoint/resume. A
+// run that panics (e.g. inside a fitness evaluation path the worker
+// pool does not cover) is recovered into that run's StudyResult.Err
+// without taking down the study.
+func RunStudyContext(ctx context.Context, workload string, cfg neat.Config, runs, maxGenerations int, seed uint64, opt StudyOptions) (*Study, error) {
 	st := &Study{Workload: workload, Results: make([]StudyResult, runs)}
 	sem := make(chan struct{}, runtime.NumCPU())
 	var wg sync.WaitGroup
@@ -53,19 +97,38 @@ func RunStudyWithSink(workload string, cfg neat.Config, runs, maxGenerations int
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			res := StudyResult{Run: run}
-			r, err := NewRunner(workload, cfg, seed+uint64(run)*7919)
+			defer func() {
+				if p := recover(); p != nil {
+					res.Err = fmt.Errorf("run panic: %v", p)
+				}
+				st.Results[run] = res
+			}()
+			if err := ctx.Err(); err != nil {
+				res.Err = err
+				return
+			}
+			r, err := NewRunner(workload, cfg, RunSeed(seed, run))
 			if err != nil {
 				res.Err = err
-				st.Results[run] = res
 				return
 			}
 			r.Parallelism = 2 // the study itself provides the outer parallelism
-			if sink != nil {
-				r.Sink = hwsim.Tagged{Sink: sink, Workload: workload, Run: run}
+			if opt.Sink != nil {
+				r.Sink = hwsim.Tagged{Sink: opt.Sink, Workload: workload, Run: run}
 			}
-			res.Solved, res.Err = r.Run(maxGenerations)
+			if opt.CheckpointDir != "" {
+				r.CheckpointPath = filepath.Join(opt.CheckpointDir,
+					fmt.Sprintf("%s-run%03d.ckpt", workload, run))
+				r.CheckpointEvery = opt.CheckpointEvery
+				if _, serr := os.Stat(r.CheckpointPath); serr == nil {
+					if rerr := r.RestoreCheckpoint(r.CheckpointPath); rerr != nil {
+						res.Err = fmt.Errorf("restore checkpoint: %w", rerr)
+						return
+					}
+				}
+			}
+			res.Solved, res.Err = r.Run(ctx, maxGenerations)
 			res.History = r.History
-			st.Results[run] = res
 		}(run)
 	}
 	wg.Wait()

@@ -1,6 +1,7 @@
 package evolve
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -125,7 +126,7 @@ func TestStudySinkRecordsTagged(t *testing.T) {
 	cfg := neat.DefaultConfig(1, 1)
 	cfg.PopulationSize = 30
 	log := &hwsim.Log{}
-	st, err := RunStudyWithSink("mountaincar", cfg, 2, 3, 11, log)
+	st, err := RunStudyWithSink(context.Background(), "mountaincar", cfg, 2, 3, 11, log)
 	if err != nil {
 		t.Fatal(err)
 	}

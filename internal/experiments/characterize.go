@@ -80,7 +80,7 @@ func fig4Suite() []string {
 func studyFor(wl string, opt Options) (*evolve.Study, error) {
 	cfg := neat.DefaultConfig(1, 1)
 	cfg.PopulationSize = opt.popFor(wl)
-	return evolve.RunStudy(wl, cfg, opt.Runs, opt.gensFor(wl), opt.Seed)
+	return evolve.RunStudyContext(opt.ctx(), wl, cfg, opt.Runs, opt.gensFor(wl), opt.Seed, evolve.StudyOptions{})
 }
 
 // studyRecords runs the study with a record sink attached: the
@@ -90,7 +90,7 @@ func studyRecords(wl string, opt Options) (*hwsim.Log, error) {
 	cfg := neat.DefaultConfig(1, 1)
 	cfg.PopulationSize = opt.popFor(wl)
 	log := &hwsim.Log{}
-	_, err := evolve.RunStudyWithSink(wl, cfg, opt.Runs, opt.gensFor(wl), opt.Seed, log)
+	_, err := evolve.RunStudyWithSink(opt.ctx(), wl, cfg, opt.Runs, opt.gensFor(wl), opt.Seed, log)
 	return log, err
 }
 

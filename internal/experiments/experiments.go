@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -41,6 +42,17 @@ type Options struct {
 	RAMPopulation int
 	// RAMGenerations bounds RAM-workload runs separately.
 	RAMGenerations int
+	// Ctx, when set, cancels in-flight evolution runs (e.g. on SIGINT);
+	// nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx returns the effective cancellation context.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o Options) withDefaults() Options {
@@ -205,7 +217,7 @@ func runWorkload(workload string, opt Options, run int) (*evolved, error) {
 	}
 	tr := &trace.Trace{}
 	r.SetRecorder(tr)
-	solved, err := r.Run(opt.gensFor(workload))
+	solved, err := r.Run(opt.ctx(), opt.gensFor(workload))
 	if err != nil {
 		return nil, err
 	}

@@ -12,6 +12,8 @@
 // a function of EvE PE count, Fig. 8b/8c; SRAM energy, Fig. 11c).
 package energy
 
+import "repro/internal/hw/fault"
+
 // Tech holds the per-component constants of the 15 nm implementation.
 // All areas in mm², powers in mW, energies in pJ, at 200 MHz / 1.0 V.
 type Tech struct {
@@ -96,6 +98,10 @@ type SoCConfig struct {
 	SRAMKB int
 	// Multicast selects the multicast-tree NoC (vs point-to-point).
 	Multicast bool
+	// Fault is the chip's fault environment. The zero value is a
+	// perfect chip: no injector is built and the counter tree is
+	// byte-identical to a fault-free build.
+	Fault fault.Config
 }
 
 // DefaultSoC returns the paper's chosen design point: 256 EvE PEs,

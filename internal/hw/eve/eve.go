@@ -20,8 +20,10 @@
 package eve
 
 import (
+	"fmt"
 	"sort"
 
+	"repro/internal/hw/fault"
 	"repro/internal/hw/hwsim"
 	"repro/internal/hw/noc"
 	"repro/internal/hw/sram"
@@ -131,6 +133,14 @@ type Engine struct {
 	buf *sram.Buffer
 	net *noc.Network
 	ctr *hwsim.Counters
+
+	// faults, when attached, marks stuck-at PEs: dead[i] is a lifetime
+	// hard fault and liveIdx lists the usable pool the scheduler remaps
+	// onto (waves shrink to the live capacity, so a dead PE's children
+	// spill into extra waves and pile load onto the survivors).
+	faults  *fault.Plan
+	dead    []bool
+	liveIdx []int
 }
 
 // New builds an engine. The buffer may be shared with an ADAM model;
@@ -163,6 +173,55 @@ func New(cfg Config, buf *sram.Buffer) *Engine {
 
 // Config returns the engine's design point.
 func (e *Engine) Config() Config { return e.cfg }
+
+// AttachFaults wires a fault plan into the engine and its interconnect.
+// The plan's stuck-at map decides which PEs are dead for the chip's
+// lifetime: their children are re-dispatched to live PEs (waves shrink
+// to live capacity), which shows up as extra waves and per-PE load
+// imbalance under the plan's "fault/eve" scope. Passing nil detaches.
+func (e *Engine) AttachFaults(p *fault.Plan) {
+	e.faults = p
+	e.net.AttachFaults(p)
+	e.dead = nil
+	e.liveIdx = nil
+	if p == nil {
+		return
+	}
+	e.dead = p.DeadPEs(e.cfg.NumPEs)
+	for i, d := range e.dead {
+		if !d {
+			e.liveIdx = append(e.liveIdx, i)
+		}
+	}
+	if len(e.liveIdx) == 0 {
+		// A fully-dead pool would deadlock the schedule; keep PE 0
+		// limping so the model stays total (the imbalance counters make
+		// the catastrophe visible).
+		e.liveIdx = []int{0}
+	}
+	deadCount := int64(e.cfg.NumPEs - len(e.liveIdx))
+	fc := p.EvECounters()
+	fc.OnSnapshot(func(c *hwsim.Counters) {
+		c.SetInt("dead_pes", deadCount)
+		var max, sum int64
+		for i := 0; i < e.cfg.NumPEs; i++ {
+			b := c.IntValue(peBusyName(i))
+			if b > max {
+				max = b
+			}
+			sum += b
+		}
+		if sum > 0 {
+			mean := float64(sum) / float64(len(e.liveIdx))
+			c.SetFloat("busy_max", float64(max))
+			c.SetFloat("busy_mean", mean)
+			c.SetFloat("imbalance", float64(max)/mean)
+		}
+	})
+}
+
+// peBusyName is the per-PE busy-cycle counter under "fault/eve".
+func peBusyName(i int) string { return fmt.Sprintf("pe%02d_busy_cycles", i) }
 
 // Buffer exposes the genome buffer for shared accounting.
 func (e *Engine) Buffer() *sram.Buffer { return e.buf }
@@ -217,6 +276,7 @@ func (e *Engine) RunGeneration(g *trace.Generation) Report {
 
 	waves := e.allocate(g)
 	r.Waves = len(waves)
+	e.chargeRemap(g, len(waves))
 
 	var busyPECycles int64
 	for _, w := range waves {
@@ -224,7 +284,7 @@ func (e *Engine) RunGeneration(g *trace.Generation) Report {
 		streamSet := map[int64]*noc.Stream{}
 		longestChild := 0
 		var childGenes int64
-		for _, c := range w.children {
+		for ci, c := range w.children {
 			for _, pid := range []int64{c.Parent1, c.Parent2} {
 				if pid < 0 {
 					continue
@@ -241,7 +301,13 @@ func (e *Engine) RunGeneration(g *trace.Generation) Report {
 				longestChild = size
 			}
 			childGenes += childSize(c, g)
-			busyPECycles += int64(cfg.SetupCycles + size + cfg.PipelineDepth)
+			busy := int64(cfg.SetupCycles + size + cfg.PipelineDepth)
+			busyPECycles += busy
+			if e.faults != nil {
+				// Children fill the live PEs in ascending index order.
+				pe := e.liveIdx[ci%len(e.liveIdx)]
+				e.faults.EvECounters().AddInt(peBusyName(pe), busy)
+			}
 		}
 		streams := make([]noc.Stream, 0, len(streamSet))
 		for _, s := range streamSet {
@@ -324,9 +390,10 @@ func (e *Engine) allocate(g *trace.Generation) []wave {
 	}
 
 	var waves []wave
+	capacity := e.waveCapacity()
 	cur := wave{}
 	for _, c := range ordered {
-		if len(cur.children) == cfg.NumPEs {
+		if len(cur.children) == capacity {
 			waves = append(waves, cur)
 			cur = wave{}
 		}
@@ -336,6 +403,39 @@ func (e *Engine) allocate(g *trace.Generation) []wave {
 		waves = append(waves, cur)
 	}
 	return waves
+}
+
+// waveCapacity is the number of children one wave can host: the full
+// pool on a healthy chip, only the live PEs under stuck-at faults.
+func (e *Engine) waveCapacity() int {
+	if e.faults != nil && len(e.liveIdx) < e.cfg.NumPEs {
+		return len(e.liveIdx)
+	}
+	return e.cfg.NumPEs
+}
+
+// chargeRemap itemizes the scheduling cost of dead PEs for one
+// generation: how many children would have landed on a dead PE under
+// fault-free packing (and so were re-dispatched), and how many extra
+// waves the shrunken pool needed.
+func (e *Engine) chargeRemap(g *trace.Generation, actualWaves int) {
+	if e.faults == nil || len(g.Children) == 0 || len(e.liveIdx) == e.cfg.NumPEs {
+		return
+	}
+	fc := e.faults.EvECounters()
+	ideal := (len(g.Children) + e.cfg.NumPEs - 1) / e.cfg.NumPEs
+	if extra := actualWaves - ideal; extra > 0 {
+		fc.AddInt("extra_waves", int64(extra))
+	}
+	var redispatched int64
+	for k := range g.Children {
+		if e.dead[k%e.cfg.NumPEs] {
+			redispatched++
+		}
+	}
+	if redispatched > 0 {
+		fc.AddInt("redispatched_children", redispatched)
+	}
 }
 
 // parentSize returns the gene count of parent pid, falling back to the

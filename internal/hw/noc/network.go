@@ -1,6 +1,9 @@
 package noc
 
-import "repro/internal/hw/hwsim"
+import (
+	"repro/internal/hw/fault"
+	"repro/internal/hw/hwsim"
+)
 
 // Network is a stateful interconnect: a Config plus a hwsim counter
 // tally, so the NoC's traffic and energy appear as a node ("noc") in a
@@ -9,6 +12,11 @@ import "repro/internal/hw/hwsim"
 type Network struct {
 	cfg Config
 	ctr *hwsim.Counters
+
+	// faults, when attached, drops flits out of each priced delivery;
+	// the network reacts with bounded retransmission (backoff + resend
+	// cycles and energy folded into the Delivery it returns).
+	faults *fault.Plan
 }
 
 // NewNetwork wraps a Config with a counter node.
@@ -26,6 +34,14 @@ func NewNetwork(cfg Config) *Network {
 // Config returns the interconnect parameters.
 func (n *Network) Config() Config { return n.cfg }
 
+// AttachFaults wires a fault plan into the network. Deliveries then
+// suffer seeded flit drops and the network retransmits: each attempt
+// charges an exponential backoff plus one cycle per resent flit, and
+// resent flits pay hop energy again. Flits still outstanding after the
+// retry budget are counted as lost. All recovery work is itemized
+// under the plan's "fault/noc" scope. Passing nil detaches.
+func (n *Network) AttachFaults(p *fault.Plan) { n.faults = p }
+
 // Name is the hwsim component name.
 func (n *Network) Name() string { return "noc" }
 
@@ -39,6 +55,7 @@ func (n *Network) Reset() { n.ctr.Reset() }
 // it to the tally.
 func (n *Network) Distribute(streams []Stream) Delivery {
 	d := n.cfg.Distribute(streams)
+	n.faultAdjust(&d)
 	n.charge(d)
 	return d
 }
@@ -46,8 +63,41 @@ func (n *Network) Distribute(streams []Stream) Delivery {
 // Collect prices child-gene collection and charges it to the tally.
 func (n *Network) Collect(childGenes int64) Delivery {
 	d := n.cfg.Collect(childGenes)
+	n.faultAdjust(&d)
 	n.charge(d)
 	return d
+}
+
+// faultAdjust applies the attached fault plan to one priced delivery:
+// flits drop at the configured rate, the network retries up to the
+// bounded budget (backoff doubling per attempt, one cycle per resent
+// flit, hop energy paid again), and anything left is lost. The
+// inflated Cycles/EnergyPJ flow back through the caller's wave timing.
+func (n *Network) faultAdjust(d *Delivery) {
+	p := n.faults
+	if p == nil || d.Deliveries <= 0 {
+		return
+	}
+	cfg := p.Config()
+	hopPJ := n.cfg.hops() * n.cfg.HopEnergyPJ
+	fc := p.NoCCounters()
+	outstanding := p.NoCDrops(d.Deliveries)
+	for attempt := 1; outstanding > 0 && attempt <= cfg.MaxRetriesOrDefault(); attempt++ {
+		backoff := cfg.BackoffCyclesOrDefault() << (attempt - 1)
+		resend := outstanding
+		d.Cycles += backoff + resend // resends replay at one flit per cycle
+		d.EnergyPJ += float64(resend) * hopPJ
+		fc.AddInt("retransmitted_flits", resend)
+		fc.AddInt("backoff_cycles", backoff)
+		fc.AddInt("retransmit_cycles", resend)
+		outstanding = p.NoCDrops(resend)
+	}
+	if outstanding > 0 {
+		fc.AddInt("lost_flits", outstanding)
+	}
+	if d.Cycles > 0 {
+		d.ReadsPerCycle = float64(d.SRAMReads) / float64(d.Cycles)
+	}
 }
 
 func (n *Network) charge(d Delivery) {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/hw/adam"
 	"repro/internal/hw/energy"
 	"repro/internal/hw/eve"
+	"repro/internal/hw/fault"
 	"repro/internal/hw/hwsim"
 	"repro/internal/hw/noc"
 	"repro/internal/hw/sram"
@@ -19,12 +20,17 @@ import (
 // component tree: its "soc" counter node adopts the EvE ("soc/eve",
 // with "soc/eve/pe" and "soc/eve/noc" below it), ADAM ("soc/adam"),
 // genome buffer ("soc/sram") and static technology ("soc/tech") nodes,
-// so one snapshot yields the full chip ledger.
+// so one snapshot yields the full chip ledger. When the design point
+// configures a fault environment, the chip also owns a fault.Plan and
+// adopts its reliability ledger ("soc/fault" with "sram"/"noc"/"eve"
+// scopes below it); a zero fault.Config leaves the tree untouched.
 type SoC struct {
 	Cfg  energy.SoCConfig
 	EvE  *eve.Engine
 	ADAM *adam.Engine
 	Buf  *sram.Buffer
+	// Faults is the chip's fault injector; nil on a perfect chip.
+	Faults *fault.Plan
 
 	ctr *hwsim.Counters
 }
@@ -55,6 +61,12 @@ func New(cfg energy.SoCConfig) *SoC {
 		ADAM: adam.New(acfg),
 		Buf:  buf,
 		ctr:  hwsim.New("soc"),
+	}
+	if cfg.Fault.Enabled() {
+		s.Faults = fault.NewPlan(cfg.Fault)
+		s.Buf.AttachFaults(s.Faults)
+		s.EvE.AttachFaults(s.Faults)
+		s.ctr.Adopt(s.Faults.Counters())
 	}
 	s.ctr.Adopt(s.EvE.Counters())
 	s.ctr.Adopt(s.ADAM.Counters())

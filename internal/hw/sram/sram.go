@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/hw/fault"
 	"repro/internal/hw/hwsim"
 )
 
@@ -56,6 +57,15 @@ type Buffer struct {
 	// to DRAM ("backed by DRAM for cases when the genomes do not fit").
 	spillWords *hwsim.Int
 	residency  atomic.Int64 // words currently allocated
+
+	// faults, when attached, injects word bit-flips on reads and the
+	// configured ECC scheme reacts: detection, correction scrubs and
+	// code-bit energy are charged to the buffer and the fault ledger.
+	faults *fault.Plan
+	// eccPJ accumulates the code-bit (check-bit) energy overhead of
+	// every protected access; registered only when ECC is modeled so a
+	// fault-free buffer's snapshot is unchanged.
+	eccPJ *hwsim.Float
 }
 
 // New returns an empty buffer with the given geometry.
@@ -80,6 +90,27 @@ func New(cfg Config) *Buffer {
 
 // Config returns the geometry.
 func (b *Buffer) Config() Config { return b.cfg }
+
+// AttachFaults wires a fault plan into the buffer. Reads then suffer
+// seeded word bit-flips, and the plan's ECC scheme determines the
+// outcome per flipped word:
+//
+//   - Unprotected: the flip is a silent error (charged, not repaired);
+//   - Parity: the flip is detected and confirmed by a re-read, but the
+//     word stays uncorrectable;
+//   - SECDED: single-bit flips are corrected by a read-modify-write
+//     scrub (extra read + write traffic and cycles); double-bit flips
+//     remain uncorrectable.
+//
+// Recovery traffic is charged to the buffer's own counters (so it
+// appears in sram reads/writes/energy) and itemized under the plan's
+// "fault/sram" scope. Passing nil detaches.
+func (b *Buffer) AttachFaults(p *fault.Plan) {
+	b.faults = p
+	if p != nil && p.Config().ECC != fault.Unprotected {
+		b.eccPJ = b.ctr.Float("ecc_overhead_pj")
+	}
+}
 
 // Name is the buffer's hwsim component name.
 func (b *Buffer) Name() string { return "sram" }
@@ -142,7 +173,61 @@ func (b *Buffer) access(n int64, write bool) int64 {
 	// residual partial cycle is the conflict cost we account.
 	ideal := n / bw
 	b.conflictCycles.Add(cycles - ideal)
+	cycles += b.inject(n, write, bw)
 	return cycles
+}
+
+// inject applies the attached fault plan to one access batch and
+// returns the extra cycles the protection scheme spends recovering.
+func (b *Buffer) inject(n int64, write bool, bw int64) int64 {
+	p := b.faults
+	if p == nil {
+		return 0
+	}
+	cfg := p.Config()
+	if b.eccPJ != nil {
+		// Every protected access also reads/writes the check bits.
+		b.eccPJ.Add(float64(n) * b.cfg.AccessPJ * cfg.ECC.CodeOverhead())
+	}
+	if write {
+		// Flips manifest when a word is read back; writes just (re)encode.
+		return 0
+	}
+	flips := p.SRAMFlips(n)
+	if flips == 0 {
+		return 0
+	}
+	fc := p.SRAMCounters()
+	switch cfg.ECC {
+	case fault.Parity:
+		// Detect-only: one verification re-read per flagged word, then
+		// the word is surfaced as uncorrectable.
+		fc.AddInt("detected_errors", flips)
+		fc.AddInt("uncorrectable_words", flips)
+		fc.AddInt("recovery_reads", flips)
+		b.reads.Add(flips)
+		rec := (flips + bw - 1) / bw
+		fc.AddInt("recovery_cycles", rec)
+		return rec
+	case fault.SECDED:
+		double := p.SRAMDoubleFlips(flips)
+		corrected := flips - double
+		fc.AddInt("detected_errors", flips)
+		fc.AddInt("corrected_words", corrected)
+		fc.AddInt("uncorrectable_words", double)
+		// Correction is a read-modify-write scrub per corrected word.
+		fc.AddInt("recovery_reads", corrected)
+		fc.AddInt("recovery_writes", corrected)
+		b.reads.Add(corrected)
+		b.writes.Add(corrected)
+		rec := (2*corrected + bw - 1) / bw
+		fc.AddInt("recovery_cycles", rec)
+		return rec
+	default:
+		// No code bits: the flip sails through as corrupted data.
+		fc.AddInt("silent_errors", flips)
+		return 0
+	}
 }
 
 // ReadCount returns total word reads so far.
@@ -158,11 +243,16 @@ func (b *Buffer) SpillWords() int64 { return b.spillWords.Load() }
 func (b *Buffer) ConflictCycles() int64 { return b.conflictCycles.Load() }
 
 // EnergyPJ returns the access energy consumed so far. DRAM spills are
-// charged at 100× the SRAM access energy (the usual off-chip ratio).
+// charged at 100× the SRAM access energy (the usual off-chip ratio);
+// with ECC modeled, the check-bit overhead of every access is included.
 func (b *Buffer) EnergyPJ() float64 {
 	onChip := float64(b.reads.Load()+b.writes.Load()-b.spillWords.Load()) * b.cfg.AccessPJ
 	offChip := float64(b.spillWords.Load()) * b.cfg.AccessPJ * 100
-	return onChip + offChip
+	total := onChip + offChip
+	if b.eccPJ != nil {
+		total += b.eccPJ.Load()
+	}
+	return total
 }
 
 // Reset clears the activity counters (not the residency).

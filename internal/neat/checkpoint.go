@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"repro/internal/gene"
+	"repro/internal/rng"
 )
 
 // Checkpointing: long evolutionary runs (the paper's MountainCar tail
@@ -23,6 +24,10 @@ type checkpoint struct {
 	Genomes       []*gene.Genome      `json:"genomes"`
 	BestEver      *gene.Genome        `json:"bestEver,omitempty"`
 	Species       []speciesCheckpoint `json:"species,omitempty"`
+	// RNG is the live PRNG stream at save time. When present, Restore
+	// continues the stream bit-identically; older checkpoints without
+	// it fall back to re-seeding from the restore seed.
+	RNG *rng.State `json:"rng,omitempty"`
 }
 
 // speciesCheckpoint captures one species' identity and stagnation
@@ -35,10 +40,11 @@ type speciesCheckpoint struct {
 	Created        int          `json:"created"`
 }
 
-// Save writes the population state as JSON. The PRNG stream is not
-// serialized: a restored run continues deterministically from the
-// restore seed, not bit-identically to the uninterrupted run.
+// Save writes the population state as JSON, including the live PRNG
+// stream: a restored run continues bit-identically to the
+// uninterrupted one, generation for generation.
 func (p *Population) Save(w io.Writer) error {
+	st := p.rnd.State()
 	cp := checkpoint{
 		Config:        p.Config,
 		Generation:    p.Generation,
@@ -47,6 +53,7 @@ func (p *Population) Save(w io.Writer) error {
 		NextNodeID:    p.ids.next,
 		Genomes:       p.Genomes,
 		BestEver:      p.BestEver,
+		RNG:           &st,
 	}
 	for _, s := range p.Species {
 		cp.Species = append(cp.Species, speciesCheckpoint{
@@ -61,8 +68,10 @@ func (p *Population) Save(w io.Writer) error {
 	return enc.Encode(cp)
 }
 
-// Restore reads a checkpoint and resumes it with a fresh PRNG seeded
-// by restoreSeed.
+// Restore reads a checkpoint and resumes it. When the checkpoint
+// carries a PRNG state (every checkpoint this version writes), the
+// stream continues bit-identically and restoreSeed is only the
+// fallback for older, stream-less checkpoints.
 func Restore(r io.Reader, restoreSeed uint64) (*Population, error) {
 	var cp checkpoint
 	if err := json.NewDecoder(r).Decode(&cp); err != nil {
@@ -74,9 +83,20 @@ func Restore(r io.Reader, restoreSeed uint64) (*Population, error) {
 	if len(cp.Genomes) == 0 {
 		return nil, fmt.Errorf("neat: restore: checkpoint has no genomes")
 	}
+	// Save always writes exactly PopulationSize genomes; a mismatch
+	// means a corrupt or hand-edited checkpoint. Checking before
+	// NewPopulation also bounds the work a hostile PopulationSize can
+	// demand to the size of the document itself.
+	if len(cp.Genomes) != cp.Config.PopulationSize {
+		return nil, fmt.Errorf("neat: restore: checkpoint has %d genomes for population size %d",
+			len(cp.Genomes), cp.Config.PopulationSize)
+	}
 	p, err := NewPopulation(cp.Config, restoreSeed)
 	if err != nil {
 		return nil, err
+	}
+	if cp.RNG != nil {
+		p.rnd.SetState(*cp.RNG)
 	}
 	p.Genomes = cp.Genomes
 	p.Generation = cp.Generation

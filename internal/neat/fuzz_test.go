@@ -1,0 +1,53 @@
+package neat
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRestore hardens checkpoint decoding against malformed input:
+// Restore must never panic, and anything it accepts must save again
+// and restore from that save.
+func FuzzRestore(f *testing.F) {
+	// Seed corpus: a real checkpoint from a small evolved population,
+	// plus structured garbage near the rejection boundaries.
+	cfg := DefaultConfig(2, 1)
+	cfg.PopulationSize = 8
+	p, err := NewPopulation(cfg, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for gen := 0; gen < 2; gen++ {
+		for i, g := range p.Genomes {
+			g.Fitness = float64(i)
+		}
+		if _, err := p.Epoch(); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var seed bytes.Buffer
+	if err := p.Save(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("{"))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"config":{"PopulationSize":10},"genomes":[]}`))
+	f.Add([]byte(`{"config":{"PopulationSize":10,"NumInputs":2,"NumOutputs":1,` +
+		`"InitialConnection":"full","CompatThreshold":3,"SurvivalThreshold":0.2,` +
+		`"TournamentSize":3},"genomes":[{"id":1,"nodes":[],"conns":[]}],` +
+		`"rng":{"x":0,"y":0,"z":0,"w":0,"v":0,"d":0}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := Restore(bytes.NewReader(data), 7)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var out bytes.Buffer
+		if err := q.Save(&out); err != nil {
+			t.Fatalf("accepted checkpoint failed to save: %v", err)
+		}
+		if _, err := Restore(bytes.NewReader(out.Bytes()), 8); err != nil {
+			t.Fatalf("re-saved checkpoint failed to restore: %v", err)
+		}
+	})
+}

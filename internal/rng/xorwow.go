@@ -51,6 +51,40 @@ func (g *XorWow) Seed(seed uint64) {
 	g.hasGauss = false
 }
 
+// State is a serializable snapshot of a generator. It exists so long
+// runs can checkpoint mid-stream and resume bit-identically: restoring
+// a State continues the exact output sequence where the snapshot left
+// off, which re-seeding cannot do.
+type State struct {
+	X        uint32  `json:"x"`
+	Y        uint32  `json:"y"`
+	Z        uint32  `json:"z"`
+	W        uint32  `json:"w"`
+	V        uint32  `json:"v"`
+	D        uint32  `json:"d"`
+	Gauss    float64 `json:"gauss,omitempty"`
+	HasGauss bool    `json:"has_gauss,omitempty"`
+}
+
+// State snapshots the generator.
+func (g *XorWow) State() State {
+	return State{X: g.x, Y: g.y, Z: g.z, W: g.w, V: g.v, D: g.d,
+		Gauss: g.gauss, HasGauss: g.hasGauss}
+}
+
+// SetState restores a snapshot taken with State. An all-zero xorshift
+// state (never produced by a live generator) is repaired the same way
+// Seed repairs it, so a corrupt snapshot cannot brick the stream.
+func (g *XorWow) SetState(s State) {
+	g.x, g.y, g.z, g.w, g.v = s.X, s.Y, s.Z, s.W, s.V
+	if g.x|g.y|g.z|g.w|g.v == 0 {
+		g.v = 0x6C078965
+	}
+	g.d = s.D
+	g.gauss = s.Gauss
+	g.hasGauss = s.HasGauss
+}
+
 // Split returns a new generator whose stream is decorrelated from g's.
 // It is used to hand independent streams to the per-PE PRNGs without
 // sharing state, mirroring the per-PE PRNG blocks in the chip.

@@ -2,9 +2,10 @@
 # check.sh — the repository's local verification gate.
 #
 # Runs, in order: gofmt (fails on any unformatted file), go vet, a full
-# build, the full test suite, and the race detector over the packages
-# that exercise concurrency (the evolve study pool and the hardware
-# counter registry).
+# build, the full test suite, the race detector over the packages that
+# exercise concurrency (the evolve study pool and the hardware counter
+# registry, fault injector included), and a short fuzz smoke over the
+# two untrusted-input decoders (trace parser, NEAT checkpoint).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -28,5 +29,12 @@ go test ./...
 
 echo "== go test -race (evolve, hw)"
 go test -race ./internal/evolve/ ./internal/hw/...
+
+echo "== fuzz smoke (trace, neat checkpoint)"
+# -fuzzminimizetime is bounded in execs: the default 60s-per-input
+# minimization budget would eat the whole smoke window on the ~5 KB
+# checkpoint corpus entries.
+go test -run=NONE -fuzz=FuzzParse -fuzztime=5s -fuzzminimizetime=50x ./internal/trace/
+go test -run=NONE -fuzz=FuzzRestore -fuzztime=5s -fuzzminimizetime=50x ./internal/neat/
 
 echo "ok"
