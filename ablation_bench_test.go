@@ -229,7 +229,7 @@ func BenchmarkAblation_Lamarckian(b *testing.B) {
 		}
 		best := 0.0
 		for g := 0; g < 6; g++ {
-			st, err := r.Step()
+			st, err := r.Step(context.Background())
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -16,6 +16,7 @@ package repro
 import (
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -75,6 +76,7 @@ func keys(r *experiments.Result) []string {
 	for k := range r.Series {
 		out = append(out, k)
 	}
+	sort.Strings(out) // deterministic failure messages
 	return out
 }
 

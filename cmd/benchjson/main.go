@@ -1,0 +1,163 @@
+// Command benchjson turns `go test -bench` output into the repository's
+// machine-readable perf-trajectory record (BENCH_<pr>.json). It reads
+// benchmark output on stdin and writes one JSON document on stdout:
+// every benchmark's ns/op, B/op, allocs/op and custom metrics (best
+// across -count repetitions), the recorded pre-change baseline for the
+// tracked kernel benchmarks, and the headline improvement ratios.
+//
+//	go test -run=NONE -bench=. -benchmem ./... | benchjson > BENCH_PR3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's aggregated measurement.
+type Result struct {
+	Name    string             `json:"name"`
+	Count   int                `json:"count"`
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	BPerOp  float64            `json:"b_per_op,omitempty"`
+	Allocs  float64            `json:"allocs_per_op,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Baseline is a pinned pre-change measurement a headline compares
+// against.
+type Baseline struct {
+	Commit  string  `json:"commit"`
+	NsPerOp float64 `json:"ns_per_op"`
+	BPerOp  float64 `json:"b_per_op"`
+	Allocs  float64 `json:"allocs_per_op"`
+}
+
+// Document is the emitted trajectory record.
+type Document struct {
+	Schema     string              `json:"schema"`
+	Benchmarks []*Result           `json:"benchmarks"`
+	Baselines  map[string]Baseline `json:"baselines"`
+	Headlines  map[string]float64  `json:"headlines"`
+}
+
+// baselines are the pre-PR3 kernel numbers, measured on the same
+// machine at the commit preceding the compiled-kernel change, with the
+// same benchmark bodies (population 64, 8 warm-up generations,
+// parallelism 4 for EvaluateGeneration; the 8-input 64-pop evolved
+// genome for the network microbenches).
+var baselines = map[string]Baseline{
+	"BenchmarkNetworkCompile":     {Commit: "a523566", NsPerOp: 10884, BPerOp: 8888, Allocs: 101},
+	"BenchmarkNetworkFeed":        {Commit: "a523566", NsPerOp: 450.9, BPerOp: 280, Allocs: 6},
+	"BenchmarkEvaluateGeneration": {Commit: "a523566", NsPerOp: 1465537, BPerOp: 585224, Allocs: 29172},
+}
+
+func main() {
+	byName := map[string]*Result{}
+	var order []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			// Strip the GOMAXPROCS suffix (BenchmarkX-8).
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r, ok := byName[name]
+		if !ok {
+			r = &Result{Name: name}
+			byName[name] = r
+			order = append(order, name)
+		}
+		r.Count++
+		// Remaining fields come in (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			switch unit {
+			case "ns/op":
+				if r.Count == 1 || v < r.NsPerOp {
+					r.NsPerOp = v
+					r.Iters = iters
+				}
+			case "B/op":
+				if r.BPerOp == 0 || v < r.BPerOp {
+					r.BPerOp = v
+				}
+			case "allocs/op":
+				if r.Allocs == 0 || v < r.Allocs {
+					r.Allocs = v
+				}
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(order) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	doc := Document{
+		Schema:    "genesys-bench/1",
+		Baselines: baselines,
+		Headlines: map[string]float64{},
+	}
+	for _, name := range order {
+		doc.Benchmarks = append(doc.Benchmarks, byName[name])
+	}
+	for name, base := range baselines {
+		r, ok := byName[name]
+		if !ok || r.NsPerOp == 0 {
+			continue
+		}
+		key := strings.TrimPrefix(name, "Benchmark")
+		doc.Headlines[key+"_ns_speedup"] = round2(base.NsPerOp / r.NsPerOp)
+		if r.Allocs > 0 {
+			doc.Headlines[key+"_allocs_ratio"] = round2(base.Allocs / r.Allocs)
+		} else if base.Allocs > 0 {
+			// Zero allocations now: report the baseline count as the
+			// ratio floor marker.
+			doc.Headlines[key+"_allocs_ratio"] = base.Allocs
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}

@@ -124,7 +124,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "characterize: interrupted; flushing partial results")
 			break
 		}
-		st, err := r.Step()
+		st, err := r.Step(ctx)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "characterize:", err)
 			os.Exit(1)

@@ -109,7 +109,7 @@ func TestOpsCountersAgreeAcrossLayers(t *testing.T) {
 	}
 	tr := &trace.Trace{}
 	r.SetRecorder(tr)
-	st, err := r.Step()
+	st, err := r.Step(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

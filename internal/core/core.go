@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/evolve"
@@ -152,7 +153,7 @@ func (s *System) RunGeneration() (GenerationResult, error) {
 		}
 	}
 
-	st, err := s.runner.Step()
+	st, err := s.runner.Step(context.Background())
 	if err != nil {
 		return GenerationResult{}, err
 	}

@@ -74,7 +74,7 @@ func TestStepProducesStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := r.Step()
+	st, err := r.Step(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestFitnessImprovesOnCartPole(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Step(); err != nil {
+	if _, err := r.Step(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	first := r.History[0].MaxFitness
@@ -129,7 +129,7 @@ func TestDeterministicEvaluation(t *testing.T) {
 		r.Parallelism = 4
 		var maxes []float64
 		for g := 0; g < 3; g++ {
-			st, err := r.Step()
+			st, err := r.Step(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -152,7 +152,7 @@ func TestSerialAndParallelAgree(t *testing.T) {
 			t.Fatal(err)
 		}
 		r.Parallelism = par
-		st, err := r.Step()
+		st, err := r.Step(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -170,7 +170,7 @@ func TestRAMWorkloadScale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := r.Step()
+	st, err := r.Step(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,6 @@
 package evolve
 
 import (
-	"repro/internal/env"
 	"repro/internal/gene"
 	"repro/internal/rng"
 )
@@ -38,17 +37,21 @@ func (r *Runner) RefineBest(trials int, seed uint64) (RefineResult, error) {
 	return r.refine(best, trials, seed)
 }
 
-// refine hill-climbs one genome's connection weights.
+// refine hill-climbs one genome's connection weights. It runs on the
+// pool's first worker slot (creating it if evaluation has not run yet),
+// compiling each trial directly — the phenotype changes every trial, so
+// the reuse cache is deliberately bypassed — and bumps the genome's
+// version stamp whenever a refined weight is kept, so the cache never
+// serves the pre-refinement phenotype for this genome.
 func (r *Runner) refine(g *gene.Genome, trials int, seed uint64) (RefineResult, error) {
-	e, err := env.New(r.Workload.EnvName)
-	if err != nil {
+	if err := r.ensureWorkers(1); err != nil {
 		return RefineResult{}, err
 	}
-	shaper := r.Workload.NewShaper()
+	w := r.workers[0]
 	prng := rng.New(seed ^ uint64(g.ID)<<20)
 
 	res := RefineResult{GenomeID: g.ID, Trials: trials}
-	cur := r.evaluateGenome(e, shaper, g)
+	cur := r.refineEval(w, g)
 	if cur.err != nil {
 		return res, cur.err
 	}
@@ -61,13 +64,14 @@ func (r *Runner) refine(g *gene.Genome, trials int, seed uint64) (RefineResult, 
 		delta := prng.NormFloat64() * 0.3
 		g.Conns[i].Weight = clampWeight(old + delta)
 
-		ev := r.evaluateGenome(e, shaper, g)
+		ev := r.refineEval(w, g)
 		if ev.err != nil {
 			return res, ev.err
 		}
 		if ev.fitness > bestFit {
 			bestFit = ev.fitness
 			res.Accepted++
+			g.BumpVersion() // the Lamarckian write-back changed the phenotype
 		} else {
 			g.Conns[i].Weight = old // revert
 		}
@@ -75,6 +79,16 @@ func (r *Runner) refine(g *gene.Genome, trials int, seed uint64) (RefineResult, 
 	g.Fitness = bestFit
 	res.FitnessEnd = bestFit
 	return res, nil
+}
+
+// refineEval compiles g with the worker's builder (no cache) and scores
+// it.
+func (r *Runner) refineEval(w *evalWorker, g *gene.Genome) evalResult {
+	net, err := w.builder.Build(g)
+	if err != nil {
+		return evalResult{err: err}
+	}
+	return r.runEpisodes(net, w.env, w.shaper, g)
 }
 
 // clampWeight keeps refined weights in the hardware-representable

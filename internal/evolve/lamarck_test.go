@@ -1,6 +1,7 @@
 package evolve
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gene"
@@ -14,7 +15,7 @@ func TestRefineNeverRegresses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Step(); err != nil {
+	if _, err := r.Step(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	res, err := r.RefineBest(25, 1)
@@ -41,7 +42,7 @@ func TestRefineKeepsWeightsInHardwareRange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Step(); err != nil {
+	if _, err := r.Step(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := r.RefineBest(50, 2); err != nil {
@@ -79,7 +80,7 @@ func TestLamarckianHybridHelpsHardTask(t *testing.T) {
 		}
 		best := 0.0
 		for g := 0; g < 6; g++ {
-			st, err := r.Step()
+			st, err := r.Step(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}

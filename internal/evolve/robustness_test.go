@@ -135,7 +135,7 @@ func TestEvaluationPanicBecomesError(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.Workload.NewShaper = func() Shaper { return panicShaper{} }
-	_, _, _, err = r.EvaluateGeneration()
+	_, _, _, err = r.EvaluateGeneration(context.Background())
 	if err == nil {
 		t.Fatal("panicking shaper produced no error")
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/env"
@@ -114,6 +115,28 @@ type Runner struct {
 	opCounts neat.OpCounts
 	seed     uint64
 	extraRec neat.Recorder
+
+	// workers is the persistent population-level-parallelism pool: one
+	// slot per evaluation worker, each owning an environment instance, a
+	// reward shaper, and a compile Builder scratch. Slots are created
+	// lazily on the first EvaluateGeneration and live for the runner's
+	// lifetime, so generations after the first pay no environment
+	// construction or compile-scratch allocation.
+	workers []*evalWorker
+	// phenos caches compiled phenotypes across generations keyed on the
+	// genome version stamp — the software form of the paper's
+	// genome-level reuse: elites and champions carry their parent's
+	// stamp and skip recompilation.
+	phenos network.Cache
+	// dispatch is the reusable job-order scratch for EvaluateGeneration.
+	dispatch []int
+}
+
+// evalWorker is one persistent slot of the evaluation pool.
+type evalWorker struct {
+	env     env.Env
+	shaper  Shaper
+	builder *network.Builder
 }
 
 // NewRunner builds a population configured for the workload's
@@ -145,9 +168,11 @@ func (r *Runner) SetRecorder(rec neat.Recorder) {
 	r.Pop.SetRecorder(neat.MultiRecorder(&r.opCounts, rec))
 }
 
-// evalResult carries one genome's evaluation back from a worker.
+// evalResult carries one evaluation unit (a genome, or one of its
+// episodes) back from a worker.
 type evalResult struct {
 	idx     int
+	ep      int
 	fitness float64
 	steps   int64
 	macs    int64
@@ -155,78 +180,224 @@ type evalResult struct {
 	err     error
 }
 
+// ensureWorkers grows the persistent pool to at least n slots, building
+// each new slot's environment, shaper, and compile scratch once.
+func (r *Runner) ensureWorkers(n int) error {
+	for len(r.workers) < n {
+		e, err := env.New(r.Workload.EnvName)
+		if err != nil {
+			return err
+		}
+		r.workers = append(r.workers, &evalWorker{
+			env:     e,
+			shaper:  r.Workload.NewShaper(),
+			builder: new(network.Builder),
+		})
+	}
+	return nil
+}
+
 // EvaluateGeneration scores every genome in the current population
 // (steps 1–6 of the walkthrough), exploiting population-level
-// parallelism with a worker pool. It returns aggregate inference work.
-func (r *Runner) EvaluateGeneration() (envSteps, macs, updates int64, err error) {
+// parallelism with the persistent worker pool. It returns aggregate
+// inference work. Dispatch stops as soon as ctx is cancelled — in-flight
+// episodes finish, queued genomes are never started, and ctx.Err() is
+// returned — so an interrupt does not have to wait out a full
+// generation of long episodes.
+func (r *Runner) EvaluateGeneration(ctx context.Context) (envSteps, macs, updates int64, err error) {
 	genomes := r.Pop.Genomes
+	episodes := r.Workload.Episodes
+	if episodes < 1 {
+		episodes = 1
+	}
+	units := len(genomes) * episodes
 	workers := r.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(genomes) {
-		workers = len(genomes)
+	// Evaluation is CPU-bound: workers beyond the scheduler's
+	// processors cannot overlap and only add context switches.
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
+	if workers > units {
+		workers = units
+	}
+	if err := r.ensureWorkers(workers); err != nil {
+		return 0, 0, 0, err
 	}
 
+	if workers == 1 {
+		// Single-worker fast path: no goroutines, no channels — the
+		// scheduler round-trips would be pure overhead on a one-core
+		// budget. Still ctx-aware between genomes.
+		w := r.workers[0]
+		for _, g := range genomes {
+			if err := ctx.Err(); err != nil {
+				return 0, 0, 0, err
+			}
+			res := r.safeEvaluateGenome(w, g)
+			if res.err != nil {
+				return 0, 0, 0, res.err
+			}
+			g.Fitness = res.fitness
+			envSteps += res.steps
+			macs += res.macs
+			updates += res.updates
+		}
+		r.phenos.Sweep()
+		return envSteps, macs, updates, nil
+	}
+
+	// The parallel unit is one episode, not one genome: episodes are
+	// independently seeded, so an elite's long episodes spread across
+	// workers instead of forming a serial chain that bounds the whole
+	// generation's wall time. Job j encodes (genome j/episodes,
+	// episode j%episodes).
 	jobs := make(chan int)
-	results := make(chan evalResult, len(genomes))
+	results := make(chan evalResult, units)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		wk := r.workers[w]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			e, eerr := env.New(r.Workload.EnvName)
-			if eerr != nil {
-				for idx := range jobs {
-					results <- evalResult{idx: idx, err: eerr}
-				}
-				return
-			}
-			shaper := r.Workload.NewShaper()
-			for idx := range jobs {
-				res := r.safeEvaluate(e, shaper, genomes[idx])
-				res.idx = idx
+			for j := range jobs {
+				res := r.safeEvaluateEpisode(wk, genomes[j/episodes], j%episodes)
+				res.idx, res.ep = j/episodes, j%episodes
 				results <- res
 			}
 		}()
 	}
-	for i := range genomes {
-		jobs <- i
+	// Dispatch expensive genomes first. A genome's carried-over fitness
+	// is a cheap proxy for its episode length (elites survive longest),
+	// and the wall time of a generation is bounded by whichever worker
+	// drew the longest chain: sending the long episodes first keeps the
+	// pool busy instead of idling behind a straggler dispatched last.
+	// Evaluation order does not affect results — every episode is fully
+	// determined by its (seed, generation, genome, episode) reset.
+	order := r.dispatch[:0]
+	for j := 0; j < units; j++ {
+		order = append(order, j)
+	}
+	r.dispatch = order
+	sort.SliceStable(order, func(a, b int) bool {
+		return genomes[order[a]/episodes].Fitness > genomes[order[b]/episodes].Fitness
+	})
+dispatch:
+	for _, j := range order {
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case jobs <- j:
+		}
 	}
 	close(jobs)
 	wg.Wait()
 	close(results)
 
+	// Per-episode fitness lands in its (genome, episode) slot so the
+	// mean below sums in episode order — the exact float additions the
+	// serial evaluator performed.
+	perEp := make([]float64, units)
 	for res := range results {
 		if res.err != nil {
 			return 0, 0, 0, res.err
 		}
-		genomes[res.idx].Fitness = res.fitness
+		perEp[res.idx*episodes+res.ep] = res.fitness
 		envSteps += res.steps
 		macs += res.macs
 		updates += res.updates
 	}
+	if err := ctx.Err(); err != nil {
+		return 0, 0, 0, err
+	}
+	for i, g := range genomes {
+		var total float64
+		for ep := 0; ep < episodes; ep++ {
+			total += perEp[i*episodes+ep]
+		}
+		g.Fitness = total / float64(episodes)
+	}
+	// Retire cache entries no live genome touched this generation.
+	r.phenos.Sweep()
 	return envSteps, macs, updates, nil
 }
 
-// safeEvaluate shields the worker pool from a panicking fitness
-// evaluation: the panic surfaces as that genome's evaluation error
-// instead of unwinding the worker goroutine and killing the process.
-func (r *Runner) safeEvaluate(e env.Env, shaper Shaper, g *gene.Genome) (res evalResult) {
+// PhenoCache exposes the runner's compiled-phenotype reuse cache
+// (tests, diagnostics).
+func (r *Runner) PhenoCache() *network.Cache { return &r.phenos }
+
+// safeEvaluateGenome is the whole-genome evaluation unit of the serial
+// fast path: compile through the reuse cache, run every episode, with
+// the same panic shield as the parallel workers.
+func (r *Runner) safeEvaluateGenome(w *evalWorker, g *gene.Genome) (res evalResult) {
 	defer func() {
 		if p := recover(); p != nil {
 			res = evalResult{err: fmt.Errorf("genome %d: evaluation panic: %v", g.ID, p)}
 		}
 	}()
-	return r.evaluateGenome(e, shaper, g)
-}
-
-// evaluateGenome runs the workload's episodes for one genome.
-func (r *Runner) evaluateGenome(e env.Env, shaper Shaper, g *gene.Genome) evalResult {
-	net, err := network.New(g)
+	net, err := r.phenos.Get(w.builder, g)
 	if err != nil {
 		return evalResult{err: fmt.Errorf("genome %d: %w", g.ID, err)}
 	}
+	return r.runEpisodes(net, w.env, w.shaper, g)
+}
+
+// safeEvaluateEpisode shields the worker pool from a panicking fitness
+// evaluation: the panic surfaces as that episode's evaluation error
+// instead of unwinding the worker goroutine and killing the process. It
+// compiles the genome through the reuse cache, so an unchanged elite
+// costs two buffer allocations instead of a rebuild.
+func (r *Runner) safeEvaluateEpisode(w *evalWorker, g *gene.Genome, ep int) (res evalResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = evalResult{err: fmt.Errorf("genome %d: evaluation panic: %v", g.ID, p)}
+		}
+	}()
+	net, err := r.phenos.Get(w.builder, g)
+	if err != nil {
+		return evalResult{err: fmt.Errorf("genome %d: %w", g.ID, err)}
+	}
+	return r.runEpisode(net, w.env, w.shaper, g, ep)
+}
+
+// runEpisode scores one compiled phenotype over one workload episode.
+// The inner step loop is allocation-free: Feed reuses the instance's
+// output buffer and the environments reuse their observation buffers.
+func (r *Runner) runEpisode(net *network.Network, e env.Env, shaper Shaper, g *gene.Genome, ep int) evalResult {
+	// Deterministic per-(generation, genome, episode) seed.
+	seed := r.seed ^ uint64(r.Pop.Generation)<<40 ^ uint64(g.ID)<<8 ^ uint64(ep)
+	obs := e.Reset(seed)
+	shaper.Reset()
+	steps := 0
+	for {
+		action, ferr := net.Feed(obs)
+		if ferr != nil {
+			return evalResult{err: fmt.Errorf("genome %d: %w", g.ID, ferr)}
+		}
+		var reward float64
+		var done bool
+		obs, reward, done = e.Step(action)
+		shaper.Observe(obs, reward)
+		steps++
+		if done {
+			break
+		}
+	}
+	var res evalResult
+	res.fitness = shaper.Fitness(e, steps)
+	// Per-step inference work is constant for a fixed phenotype, so the
+	// ledger is a multiply per episode, not adds per step.
+	res.steps = int64(steps)
+	res.macs = int64(steps) * int64(net.NumEdges())
+	res.updates = int64(steps) * int64(net.NumVertices()-net.NumInputs())
+	return res
+}
+
+// runEpisodes scores one compiled phenotype over all of the workload's
+// episodes serially — the single-genome path Lamarckian refinement uses.
+func (r *Runner) runEpisodes(net *network.Network, e env.Env, shaper Shaper, g *gene.Genome) evalResult {
 	var res evalResult
 	var total float64
 	episodes := r.Workload.Episodes
@@ -234,29 +405,14 @@ func (r *Runner) evaluateGenome(e env.Env, shaper Shaper, g *gene.Genome) evalRe
 		episodes = 1
 	}
 	for ep := 0; ep < episodes; ep++ {
-		// Deterministic per-(generation, genome, episode) seed.
-		seed := r.seed ^ uint64(r.Pop.Generation)<<40 ^ uint64(g.ID)<<8 ^ uint64(ep)
-		obs := e.Reset(seed)
-		shaper.Reset()
-		steps := 0
-		for {
-			action, ferr := net.Feed(obs)
-			if ferr != nil {
-				return evalResult{err: fmt.Errorf("genome %d: %w", g.ID, ferr)}
-			}
-			var reward float64
-			var done bool
-			obs, reward, done = e.Step(action)
-			shaper.Observe(obs, reward)
-			steps++
-			res.steps++
-			res.macs += int64(net.NumEdges())
-			res.updates += int64(net.NumVertices() - net.NumInputs())
-			if done {
-				break
-			}
+		er := r.runEpisode(net, e, shaper, g, ep)
+		if er.err != nil {
+			return er
 		}
-		total += shaper.Fitness(e, steps)
+		total += er.fitness
+		res.steps += er.steps
+		res.macs += er.macs
+		res.updates += er.updates
 	}
 	res.fitness = total / float64(episodes)
 	return res
@@ -264,10 +420,12 @@ func (r *Runner) evaluateGenome(e env.Env, shaper Shaper, g *gene.Genome) evalRe
 
 // Step evaluates the current generation and, unless it solved the task,
 // reproduces the next one. It appends and returns the generation's
-// stats.
-func (r *Runner) Step() (GenStats, error) {
+// stats. A cancelled ctx aborts the evaluation between episodes and
+// surfaces ctx.Err(); the population is left un-reproduced, so the
+// generation re-evaluates deterministically on resume.
+func (r *Runner) Step(ctx context.Context) (GenStats, error) {
 	w := r.Workload
-	envSteps, macs, updates, err := r.EvaluateGeneration()
+	envSteps, macs, updates, err := r.EvaluateGeneration(ctx)
 	if err != nil {
 		return GenStats{}, err
 	}
@@ -333,8 +491,17 @@ func (r *Runner) Run(ctx context.Context, maxGenerations int) (bool, error) {
 			}
 			return false, err
 		}
-		st, err := r.Step()
+		st, err := r.Step(ctx)
 		if err != nil {
+			// A cancellation mid-evaluation leaves the population at the
+			// same pre-Epoch boundary as the pre-step check above (the
+			// PRNG is untouched during evaluation), so the checkpoint
+			// resumes bit-identically by re-evaluating the generation.
+			if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) && r.CheckpointPath != "" {
+				if serr := r.SaveCheckpoint(r.CheckpointPath); serr != nil {
+					return false, errors.Join(err, serr)
+				}
+			}
 			return false, err
 		}
 		if st.Solved {

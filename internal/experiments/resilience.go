@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -206,7 +207,7 @@ func scoreGenome(r *evolve.Runner, g *gene.Genome) (float64, error) {
 	defer func() { r.Pop.Genomes = saved }()
 	probe := g.Clone()
 	r.Pop.Genomes = []*gene.Genome{probe}
-	if _, _, _, err := r.EvaluateGeneration(); err != nil {
+	if _, _, _, err := r.EvaluateGeneration(context.Background()); err != nil {
 		return 0, err
 	}
 	return probe.Fitness, nil

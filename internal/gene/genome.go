@@ -3,7 +3,17 @@ package gene
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
+
+// versionCounter issues process-unique phenotype version stamps. A
+// stamp identifies one exact (topology, attributes) state of a genome:
+// any two genomes carrying the same stamp are guaranteed to build the
+// same phenotype, which is what lets the network compile cache reuse
+// programs across generations (the paper's genome-level reuse applied
+// to software). Stamps are never reused, so a cache keyed by stamp can
+// never alias two different structures.
+var versionCounter atomic.Int64
 
 // Genome is one individual: the complete list of genes describing a
 // neural network, plus its identity and most recent fitness.
@@ -21,16 +31,40 @@ type Genome struct {
 	Nodes []Gene
 	// Conns holds the connection genes sorted by (Src, Dst).
 	Conns []Gene
+
+	// version is the phenotype version stamp: assigned lazily, copied
+	// by Clone, and replaced whenever a gene changes. It is deliberately
+	// unexported (and absent from checkpoints — restored genomes get a
+	// fresh stamp, landing in an empty cache anyway).
+	version int64
 }
+
+// Version returns the genome's phenotype version stamp, assigning one on
+// first use. Two genomes share a stamp only when one is an unmodified
+// clone of the other, so the stamp is a sound compile-cache key.
+func (g *Genome) Version() int64 {
+	if g.version == 0 {
+		g.version = versionCounter.Add(1)
+	}
+	return g.version
+}
+
+// BumpVersion invalidates the genome's phenotype stamp. Every mutation
+// path that edits genes in place (rather than through PutNode/PutConn/
+// DeleteNode/DeleteConn, which bump automatically) must call this, or a
+// compile cache could serve a stale phenotype.
+func (g *Genome) BumpVersion() { g.version = versionCounter.Add(1) }
 
 // NewGenome returns an empty genome with the given id.
 func NewGenome(id int64) *Genome {
 	return &Genome{ID: id}
 }
 
-// Clone deep-copies the genome (fitness included).
+// Clone deep-copies the genome (fitness and phenotype version stamp
+// included — an unmodified clone builds the identical phenotype, so it
+// shares the parent's compile-cache entry until its first mutation).
 func (g *Genome) Clone() *Genome {
-	c := &Genome{ID: g.ID, Fitness: g.Fitness}
+	c := &Genome{ID: g.ID, Fitness: g.Fitness, version: g.Version()}
 	c.Nodes = append([]Gene(nil), g.Nodes...)
 	c.Conns = append([]Gene(nil), g.Conns...)
 	return c
@@ -95,6 +129,7 @@ func (g *Genome) PutNode(n Gene) {
 	if n.Kind != KindNode {
 		panic("gene: PutNode with connection gene")
 	}
+	g.BumpVersion()
 	i, ok := g.nodeIndex(n.NodeID)
 	if ok {
 		g.Nodes[i] = n
@@ -111,6 +146,7 @@ func (g *Genome) PutConn(c Gene) {
 	if c.Kind != KindConn {
 		panic("gene: PutConn with node gene")
 	}
+	g.BumpVersion()
 	i, ok := g.connIndex(c.Src, c.Dst)
 	if ok {
 		g.Conns[i] = c
@@ -129,6 +165,7 @@ func (g *Genome) DeleteNode(id int32) bool {
 	if !ok {
 		return false
 	}
+	g.BumpVersion()
 	g.Nodes = append(g.Nodes[:i], g.Nodes[i+1:]...)
 	kept := g.Conns[:0]
 	for _, c := range g.Conns {
@@ -147,6 +184,7 @@ func (g *Genome) DeleteConn(src, dst int32) bool {
 	if !ok {
 		return false
 	}
+	g.BumpVersion()
 	g.Conns = append(g.Conns[:i], g.Conns[i+1:]...)
 	return true
 }

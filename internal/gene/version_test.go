@@ -1,0 +1,72 @@
+package gene
+
+import "testing"
+
+// The phenotype version stamp is the genome-level-reuse cache key: it
+// must be stable across reads and clones, unique across distinct
+// genomes, and bumped by every gene edit.
+
+func TestVersionStableAndUnique(t *testing.T) {
+	a, b := NewGenome(1), NewGenome(2)
+	va := a.Version()
+	if va == 0 {
+		t.Fatal("version stamp 0 (the unassigned sentinel) leaked")
+	}
+	if a.Version() != va {
+		t.Fatal("Version changed between reads without an edit")
+	}
+	if b.Version() == va {
+		t.Fatal("distinct genomes share a version stamp")
+	}
+}
+
+func TestCloneKeepsVersion(t *testing.T) {
+	g := NewGenome(1)
+	g.PutNode(NewNode(0, Input))
+	v := g.Version()
+	c := g.Clone()
+	if c.Version() != v {
+		t.Fatalf("clone version %d, want parent's %d (genome-level reuse key)", c.Version(), v)
+	}
+	// Editing the clone must diverge it without touching the parent.
+	c.PutNode(NewNode(1, Hidden))
+	if c.Version() == v {
+		t.Fatal("edited clone kept the parent's stamp; cache would serve a stale phenotype")
+	}
+	if g.Version() != v {
+		t.Fatal("editing the clone changed the parent's stamp")
+	}
+}
+
+func TestEveryEditorBumpsVersion(t *testing.T) {
+	g := NewGenome(1)
+	g.PutNode(NewNode(0, Input))
+	g.PutNode(NewNode(1, Output))
+	g.PutConn(NewConn(0, 1, 0.5))
+
+	check := func(op string, f func()) {
+		t.Helper()
+		before := g.Version()
+		f()
+		if g.Version() == before {
+			t.Fatalf("%s did not bump the version stamp", op)
+		}
+	}
+	check("PutNode", func() { g.PutNode(NewNode(2, Hidden)) })
+	check("PutConn", func() { g.PutConn(NewConn(0, 2, 1)) })
+	check("DeleteConn", func() { g.DeleteConn(0, 2) })
+	check("DeleteNode", func() { g.DeleteNode(2) })
+}
+
+func TestBumpVersionIsUnique(t *testing.T) {
+	g := NewGenome(1)
+	seen := map[int64]bool{g.Version(): true}
+	for i := 0; i < 100; i++ {
+		g.BumpVersion()
+		v := g.Version()
+		if seen[v] {
+			t.Fatalf("BumpVersion reissued stamp %d", v)
+		}
+		seen[v] = true
+	}
+}

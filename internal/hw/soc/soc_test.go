@@ -1,6 +1,7 @@
 package soc
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/evolve"
@@ -35,7 +36,7 @@ func evolveWorkload(t *testing.T, workload string, pop int) ([]adam.Job, *trace.
 			}
 			jobs = append(jobs, adam.Job{Plan: n.BuildPlan(false), Steps: 50})
 		}
-		if _, err := r.Step(); err != nil {
+		if _, err := r.Step(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}

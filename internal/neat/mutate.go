@@ -44,8 +44,11 @@ func (m *mutator) mutate(g *gene.Genome) {
 
 // perturb walks every gene and stochastically perturbs its attributes —
 // the perturbation engine stage. One event is emitted per gene touched.
+// Because it edits genes in place (bypassing the Put* editors), it must
+// bump the genome's phenotype version itself when anything changed.
 func (m *mutator) perturb(g *gene.Genome) {
 	cfg, r := m.cfg, m.rnd
+	changed := false
 	for i := range g.Nodes {
 		n := &g.Nodes[i]
 		if n.Type == gene.Input {
@@ -71,6 +74,7 @@ func (m *mutator) perturb(g *gene.Genome) {
 			touched = true
 		}
 		if touched {
+			changed = true
 			m.emit(OpPerturb, n.Key())
 		}
 	}
@@ -90,8 +94,12 @@ func (m *mutator) perturb(g *gene.Genome) {
 			touched = true
 		}
 		if touched {
+			changed = true
 			m.emit(OpPerturb, c.Key())
 		}
+	}
+	if changed {
+		g.BumpVersion()
 	}
 }
 

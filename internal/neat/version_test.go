@@ -1,0 +1,76 @@
+package neat
+
+import (
+	"testing"
+)
+
+// TestPerturbBumpsVersion covers the in-place editing path: perturb
+// writes node/conn attributes directly (bypassing the Put* editors), so
+// it must bump the phenotype version itself whenever anything changed.
+func TestPerturbBumpsVersion(t *testing.T) {
+	cfg := testConfig()
+	cfg.BiasMutateRate = 1 // guarantee at least one touched gene
+	pop, err := NewPopulation(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMutator(&cfg, 3)
+	g := pop.Genomes[0]
+	before := g.Version()
+	m.perturb(g)
+	if g.Version() == before {
+		t.Fatal("perturb changed attributes in place without bumping the version stamp")
+	}
+}
+
+func TestPerturbNoChangeKeepsVersion(t *testing.T) {
+	cfg := testConfig()
+	cfg.BiasMutateRate = 0
+	cfg.ResponseMutateRate = 0
+	cfg.ActivationMutateRate = 0
+	cfg.AggregationMutateRate = 0
+	cfg.WeightMutateRate = 0
+	cfg.EnableMutateRate = 0
+	pop, err := NewPopulation(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMutator(&cfg, 3)
+	g := pop.Genomes[0]
+	before := g.Version()
+	m.perturb(g)
+	if g.Version() != before {
+		t.Fatal("no-op perturb bumped the version stamp; elites would never hit the reuse cache")
+	}
+}
+
+// TestEpochEliteKeepsVersion pins the genome-level-reuse contract at the
+// population level: the elite copied into the next generation carries
+// its parent's stamp (cache hit), while every mutated child gets a new
+// one.
+func TestEpochEliteKeepsVersion(t *testing.T) {
+	cfg := testConfig()
+	cfg.PopulationSize = 24
+	pop, err := NewPopulation(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range pop.Genomes {
+		g.Fitness = float64(i)
+	}
+	bestVersion := pop.Best().Version()
+	if _, err := pop.Epoch(); err != nil {
+		t.Fatal(err)
+	}
+
+	eliteSurvived := false
+	for _, g := range pop.Genomes {
+		if g.Version() == bestVersion {
+			eliteSurvived = true
+			break
+		}
+	}
+	if !eliteSurvived {
+		t.Fatal("no next-generation genome carries the elite's version stamp; the reuse cache can never hit")
+	}
+}

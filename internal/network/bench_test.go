@@ -1,0 +1,72 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/gene"
+	"repro/internal/neat"
+	"repro/internal/rng"
+)
+
+// evolvedGenome grows a population for gens epochs under random fitness
+// and returns its largest genome — a realistic mid-run phenotype with
+// hidden nodes, disabled connections, and irregular fan-in.
+func evolvedGenome(tb testing.TB, inputs, outputs, popSize, gens int, seed uint64) *gene.Genome {
+	tb.Helper()
+	cfg := neat.DefaultConfig(inputs, outputs)
+	cfg.PopulationSize = popSize
+	pop, err := neat.NewPopulation(cfg, seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r := rng.New(seed ^ 0x9E37)
+	for g := 0; g < gens; g++ {
+		for _, gn := range pop.Genomes {
+			gn.Fitness = r.Float64()
+		}
+		if _, err := pop.Epoch(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	best := pop.Genomes[0]
+	for _, gn := range pop.Genomes {
+		if gn.NumGenes() > best.NumGenes() {
+			best = gn
+		}
+	}
+	return best
+}
+
+// BenchmarkNetworkCompile measures the genome→phenotype compile pass on
+// a mid-evolution genome (the per-genome-per-generation cost PLP pays).
+func BenchmarkNetworkCompile(b *testing.B) {
+	g := evolvedGenome(b, 8, 4, 64, 12, 42)
+	b.ReportMetric(float64(g.NumGenes()), "genes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetworkFeed measures one inference pass on a compiled
+// mid-evolution phenotype (the per-environment-step cost).
+func BenchmarkNetworkFeed(b *testing.B) {
+	g := evolvedGenome(b, 8, 4, 64, 12, 42)
+	n, err := New(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := make([]float64, n.NumInputs())
+	for i := range obs {
+		obs[i] = 0.25 * float64(i+1)
+	}
+	b.ReportMetric(float64(n.NumEdges()), "edges")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Feed(obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

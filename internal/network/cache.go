@@ -1,0 +1,91 @@
+package network
+
+import (
+	"sync"
+
+	"repro/internal/gene"
+)
+
+// Cache memoizes compiled phenotype programs across generations, keyed
+// by the genome's version stamp (gene.Genome.Version). It is the
+// software mirror of the paper's genome-level reuse (GLR, §III):
+// elites, champions, and unmutated clones carry their parent's stamp,
+// so their phenotypes are served from the cache instead of being
+// recompiled every generation. Programs are immutable, so a cached
+// entry can back concurrent evaluations; Get hands each caller a fresh
+// lightweight instance (two float slices) around the shared program.
+//
+// The zero value is ready to use. Get is safe for concurrent use; Sweep
+// must not race with Get (call it between generations).
+type Cache struct {
+	mu      sync.Mutex
+	entries map[int64]*cacheEntry
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	prog *program
+	// used marks the entry as touched since the last Sweep; Sweep
+	// evicts untouched entries (genomes mutated away or culled).
+	used bool
+}
+
+// Get returns an evaluable instance of the genome's compiled phenotype,
+// compiling with b on a miss. Concurrent misses on the same stamp may
+// compile twice; both results are identical, so the duplicate work is
+// harmless and the window is one generation at most.
+func (c *Cache) Get(b *Builder, g *gene.Genome) (*Network, error) {
+	v := g.Version()
+	c.mu.Lock()
+	if e, ok := c.entries[v]; ok {
+		e.used = true
+		c.hits++
+		c.mu.Unlock()
+		return e.prog.instantiate(), nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	n, err := b.Build(g)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[int64]*cacheEntry)
+	}
+	c.entries[v] = &cacheEntry{prog: n.prog, used: true}
+	c.mu.Unlock()
+	return n, nil
+}
+
+// Sweep evicts every entry not served since the previous Sweep and
+// resets the usage marks. Called once per generation, it bounds the
+// cache to roughly two generations of live phenotypes: an entry used in
+// generation N survives exactly long enough for a clone (elite,
+// champion) to hit it in generation N+1.
+func (c *Cache) Sweep() {
+	c.mu.Lock()
+	for v, e := range c.entries {
+		if !e.used {
+			delete(c.entries, v)
+		}
+		e.used = false
+	}
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached programs.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

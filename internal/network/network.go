@@ -2,218 +2,207 @@ package network
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/gene"
 )
 
-// Network is the phenotype of one genome: an evaluable DAG of vertices.
-// Building a Network is the "Genome to NN Topology" step of the GeneSys
-// walkthrough (Fig. 6, step 1); evaluating it is the sequence of vertex
-// updates ADAM performs.
+// program is the compiled, immutable form of one genome's phenotype:
+// the irregular DAG flattened into contiguous CSR-style arrays in
+// evaluation order. Building it is the "Genome to NN Topology" step of
+// the GeneSys walkthrough (Fig. 6, step 1); it is immutable after the
+// compile pass, so one program can back any number of Network instances
+// (and be shared across generations through a Cache — the software
+// mirror of the paper's genome-level reuse).
+type program struct {
+	// Per-vertex attributes, indexed by position in evaluation
+	// (topological) order: inputs first, then hidden by layer, outputs
+	// wherever their dependencies place them.
+	ids  []int32
+	bias []float64
+	resp []float64
+	act  []gene.Activation
+	agg  []gene.Aggregation
+
+	// Fan-in in CSR form: the in-edges of the vertex at position p are
+	// (edgePos[k], edgeW[k]) for k in [edgeOff[p], edgeOff[p+1]), in the
+	// genome's (src, dst) connection order — the order the previous
+	// map-based evaluator summed in, so outputs stay byte-identical.
+	edgeOff []int32
+	edgePos []int32
+	edgeW   []float64
+
+	// inputs and outputs are positions of the io nodes in genome
+	// (ascending id) order.
+	inputs  []int32
+	outputs []int32
+
+	// evalPos lists the non-input vertex positions in update order;
+	// layerEnd[l] is the end index (into evalPos) of layer l — the unit
+	// the vectorize routine packs (Plan).
+	evalPos  []int32
+	layerEnd []int32
+
+	macs int
+}
+
+// Network is an evaluable instance of a compiled phenotype: a shared
+// immutable program plus this instance's private activation and output
+// buffers. Instances are cheap (two float slices), so a compile cache
+// can hand out a fresh instance per evaluation while sharing the
+// program.
 type Network struct {
-	// nodes in evaluation (topological) order: inputs first, then hidden
-	// by layer, outputs wherever their dependencies place them.
-	order []vertex
-	// index maps node id to position in values.
-	index map[int32]int
-	// inputs and outputs are positions (into values) of the io nodes in
-	// genome order.
-	inputs  []int
-	outputs []int
-	// layers groups non-input vertex positions by topological depth —
-	// the unit the vectorize routine packs (Plan).
-	layers [][]int
-
+	prog   *program
 	values []float64
-	macs   int
+	out    []float64
 }
 
-// vertex is one evaluable node with its resolved fan-in.
-type vertex struct {
-	id   int32
-	kind gene.NodeType
-	bias float64
-	resp float64
-	act  gene.Activation
-	agg  gene.Aggregation
-	// in holds (source position, weight) pairs for enabled connections.
-	in []inEdge
+// instantiate wraps the program with fresh evaluation state.
+func (p *program) instantiate() *Network {
+	return &Network{
+		prog:   p,
+		values: make([]float64, len(p.ids)),
+		out:    make([]float64, len(p.outputs)),
+	}
 }
 
-type inEdge struct {
-	pos    int
-	weight float64
-}
-
-// New builds the phenotype for a genome. It fails if the genome's
-// enabled connections contain a cycle (the paper's inference model is a
-// DAG) or if the genome fails validation.
+// New builds the phenotype for a genome with a one-shot Builder. It
+// fails if the genome's enabled connections contain a cycle (the
+// paper's inference model is a DAG) or if the genome fails validation.
+// Callers compiling many genomes should reuse a Builder (or a Cache)
+// instead.
 func New(g *gene.Genome) (*Network, error) {
-	if err := g.Validate(); err != nil {
-		return nil, fmt.Errorf("network: %w", err)
-	}
-
-	// Layer assignment by longest path from the inputs (Kahn's
-	// algorithm over enabled connections).
-	depth := make(map[int32]int, len(g.Nodes))
-	indeg := make(map[int32]int, len(g.Nodes))
-	adj := make(map[int32][]int32)
-	for _, c := range g.Conns {
-		if !c.Enabled {
-			continue
-		}
-		adj[c.Src] = append(adj[c.Src], c.Dst)
-		indeg[c.Dst]++
-	}
-	var queue []int32
-	for _, n := range g.Nodes {
-		if indeg[n.NodeID] == 0 {
-			queue = append(queue, n.NodeID)
-			depth[n.NodeID] = 0
-		}
-	}
-	processed := 0
-	for len(queue) > 0 {
-		id := queue[0]
-		queue = queue[1:]
-		processed++
-		for _, next := range adj[id] {
-			if d := depth[id] + 1; d > depth[next] {
-				depth[next] = d
-			}
-			indeg[next]--
-			if indeg[next] == 0 {
-				queue = append(queue, next)
-			}
-		}
-	}
-	if processed != len(g.Nodes) {
-		return nil, fmt.Errorf("network: genome %d has a cycle among enabled connections", g.ID)
-	}
-
-	// Build vertices in (depth, id) order for a deterministic layout.
-	n := &Network{index: make(map[int32]int, len(g.Nodes))}
-	maxDepth := 0
-	for _, d := range depth {
-		if d > maxDepth {
-			maxDepth = d
-		}
-	}
-	byDepth := make([][]gene.Gene, maxDepth+1)
-	for _, ng := range g.Nodes {
-		d := depth[ng.NodeID]
-		byDepth[d] = append(byDepth[d], ng)
-	}
-	for _, level := range byDepth {
-		for _, ng := range level {
-			n.index[ng.NodeID] = len(n.order)
-			n.order = append(n.order, vertex{
-				id:   ng.NodeID,
-				kind: ng.Type,
-				bias: ng.Bias,
-				resp: ng.Response,
-				act:  ng.Activation,
-				agg:  ng.Aggregation,
-			})
-		}
-	}
-
-	// Resolve fan-in.
-	for _, c := range g.Conns {
-		if !c.Enabled {
-			continue
-		}
-		dst := &n.order[n.index[c.Dst]]
-		dst.in = append(dst.in, inEdge{pos: n.index[c.Src], weight: c.Weight})
-		n.macs++
-	}
-
-	// IO positions in genome (ascending id) order.
-	for _, id := range g.InputIDs() {
-		n.inputs = append(n.inputs, n.index[id])
-	}
-	for _, id := range g.OutputIDs() {
-		n.outputs = append(n.outputs, n.index[id])
-	}
-
-	// Layer grouping of non-input vertices for the vectorize plan.
-	n.layers = make([][]int, 0, maxDepth)
-	for d := 1; d <= maxDepth; d++ {
-		var layer []int
-		for _, ng := range byDepth[d] {
-			layer = append(layer, n.index[ng.NodeID])
-		}
-		if len(layer) > 0 {
-			n.layers = append(n.layers, layer)
-		}
-	}
-	// Non-input nodes stuck at depth 0 (no enabled fan-in) still need a
-	// vertex update for their bias; give them a pseudo-layer.
-	var orphan []int
-	for _, ng := range byDepth[0] {
-		if ng.Type != gene.Input {
-			orphan = append(orphan, n.index[ng.NodeID])
-		}
-	}
-	if len(orphan) > 0 {
-		n.layers = append([][]int{orphan}, n.layers...)
-	}
-
-	n.values = make([]float64, len(n.order))
-	return n, nil
+	return new(Builder).Build(g)
 }
 
 // NumInputs returns the observation width the network expects.
-func (n *Network) NumInputs() int { return len(n.inputs) }
+func (n *Network) NumInputs() int { return len(n.prog.inputs) }
 
 // NumOutputs returns the action width the network produces.
-func (n *Network) NumOutputs() int { return len(n.outputs) }
+func (n *Network) NumOutputs() int { return len(n.prog.outputs) }
 
 // NumVertices returns the node count.
-func (n *Network) NumVertices() int { return len(n.order) }
+func (n *Network) NumVertices() int { return len(n.prog.ids) }
 
 // NumEdges returns the enabled connection count — the MAC count of one
 // inference pass, the quantity Table II compares against DQN.
-func (n *Network) NumEdges() int { return n.macs }
+func (n *Network) NumEdges() int { return n.prog.macs }
 
 // Depth returns the number of vertex-update layers.
-func (n *Network) Depth() int { return len(n.layers) }
+func (n *Network) Depth() int { return len(n.prog.layerEnd) }
 
 // Feed evaluates the network on one observation, returning the output
 // activations in output-node order. The returned slice is reused across
-// calls; copy it if it must survive the next Feed.
+// calls; copy it (or use FeedInto) if it must survive the next Feed.
 func (n *Network) Feed(obs []float64) ([]float64, error) {
-	if len(obs) != len(n.inputs) {
-		return nil, fmt.Errorf("network: observation width %d, want %d", len(obs), len(n.inputs))
+	if err := n.FeedInto(n.out, obs); err != nil {
+		return nil, err
 	}
-	for i, pos := range n.inputs {
-		n.values[pos] = obs[i]
+	return n.out, nil
+}
+
+// FeedInto evaluates the network on one observation, writing the output
+// activations into dst (which must have length NumOutputs). It performs
+// no heap allocations, so the evaluation inner loop can run
+// allocation-free with a caller-owned destination.
+func (n *Network) FeedInto(dst, obs []float64) error {
+	p := n.prog
+	if len(obs) != len(p.inputs) {
+		return fmt.Errorf("network: observation width %d, want %d", len(obs), len(p.inputs))
 	}
-	var acc []float64
-	for _, layer := range n.layers {
-		for _, pos := range layer {
-			v := &n.order[pos]
-			acc = acc[:0]
-			for _, e := range v.in {
-				acc = append(acc, n.values[e.pos]*e.weight)
+	if len(dst) != len(p.outputs) {
+		return fmt.Errorf("network: destination width %d, want %d", len(dst), len(p.outputs))
+	}
+	vals := n.values
+	for i, pos := range p.inputs {
+		vals[pos] = obs[i]
+	}
+	for _, pos := range p.evalPos {
+		lo, hi := p.edgeOff[pos], p.edgeOff[pos+1]
+		var a float64
+		if f := p.agg[pos]; f == gene.AggSum {
+			// Sum fast path: accumulate inline, in edge order — the
+			// same float additions, in the same order, as summing the
+			// old per-vertex product slice. Slicing to a shared length
+			// lets the compiler drop the weight bounds check.
+			src := p.edgePos[lo:hi]
+			w := p.edgeW[lo:hi]
+			w = w[:len(src)]
+			for k, sp := range src {
+				a += vals[sp] * w[k]
 			}
-			pre := v.bias + v.resp*Aggregate(v.agg, acc)
-			n.values[pos] = Activate(v.act, pre)
+		} else {
+			a = aggregateEdges(f, vals, p.edgePos[lo:hi], p.edgeW[lo:hi])
+		}
+		pre := p.bias[pos] + p.resp[pos]*a
+		if p.act[pos] == gene.ActSigmoid {
+			// Inlined Activate sigmoid case (same ops, same order) —
+			// sigmoid is the default gene and dominates evolved
+			// populations, and the call overhead is measurable at this
+			// loop's scale.
+			vals[pos] = 1 / (1 + math.Exp(-clampExp(5*pre)))
+		} else {
+			vals[pos] = Activate(p.act[pos], pre)
 		}
 	}
-	out := make([]float64, len(n.outputs))
-	for i, pos := range n.outputs {
-		out[i] = n.values[pos]
+	for i, pos := range p.outputs {
+		dst[i] = vals[pos]
 	}
-	return out, nil
+	return nil
+}
+
+// aggregateEdges is the non-sum aggregation path of FeedInto: it
+// combines the weighted inputs in edge order without materializing
+// them, matching Aggregate over the product list exactly (an empty
+// fan-in aggregates to 0, so the vertex outputs Activate(bias)).
+func aggregateEdges(f gene.Aggregation, vals []float64, pos []int32, w []float64) float64 {
+	if len(pos) == 0 {
+		return 0
+	}
+	switch f {
+	case gene.AggProduct:
+		p := 1.0
+		for k, sp := range pos {
+			p *= vals[sp] * w[k]
+		}
+		return p
+	case gene.AggMax:
+		m := vals[pos[0]] * w[0]
+		for k := 1; k < len(pos); k++ {
+			if x := vals[pos[k]] * w[k]; x > m {
+				m = x
+			}
+		}
+		return m
+	case gene.AggMin:
+		m := vals[pos[0]] * w[0]
+		for k := 1; k < len(pos); k++ {
+			if x := vals[pos[k]] * w[k]; x < m {
+				m = x
+			}
+		}
+		return m
+	case gene.AggMean:
+		var s float64
+		for k, sp := range pos {
+			s += vals[sp] * w[k]
+		}
+		return s / float64(len(pos))
+	default: // AggSum and unknown ids sum, as Aggregate does
+		var s float64
+		for k, sp := range pos {
+			s += vals[sp] * w[k]
+		}
+		return s
+	}
 }
 
 // Values returns the current activation of every vertex (post-Feed),
 // keyed by node id. Used by tests and debugging tools.
 func (n *Network) Values() map[int32]float64 {
-	m := make(map[int32]float64, len(n.order))
-	for i, v := range n.order {
-		m[v.id] = n.values[i]
+	m := make(map[int32]float64, len(n.prog.ids))
+	for i, id := range n.prog.ids {
+		m[id] = n.values[i]
 	}
 	return m
 }

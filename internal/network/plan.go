@@ -45,14 +45,18 @@ func (s Stage) MACs() int { return s.Rows * s.Cols }
 // the matrix holds the corresponding weights, zero where a destination
 // lacks an edge from a source.
 func (n *Network) BuildPlan(materialize bool) Plan {
+	prog := n.prog
 	p := Plan{Vertices: n.NumVertices(), Edges: n.NumEdges()}
-	for _, layer := range n.layers {
+	start := int32(0)
+	for _, end := range prog.layerEnd {
+		layer := prog.evalPos[start:end]
+		start = end
 		// Distinct sources feeding this layer.
-		srcIndex := map[int]int{}
+		srcIndex := map[int32]int{}
 		for _, pos := range layer {
-			for _, e := range n.order[pos].in {
-				if _, ok := srcIndex[e.pos]; !ok {
-					srcIndex[e.pos] = len(srcIndex)
+			for k := prog.edgeOff[pos]; k < prog.edgeOff[pos+1]; k++ {
+				if _, ok := srcIndex[prog.edgePos[k]]; !ok {
+					srcIndex[prog.edgePos[k]] = len(srcIndex)
 				}
 			}
 		}
@@ -64,10 +68,10 @@ func (n *Network) BuildPlan(materialize bool) Plan {
 			}
 		}
 		for r, pos := range layer {
-			for _, e := range n.order[pos].in {
-				c := srcIndex[e.pos]
+			for k := prog.edgeOff[pos]; k < prog.edgeOff[pos+1]; k++ {
+				c := srcIndex[prog.edgePos[k]]
 				if materialize {
-					st.Weights[r][c] = e.weight
+					st.Weights[r][c] = prog.edgeW[k]
 				}
 				st.NonZero++
 			}

@@ -1,0 +1,35 @@
+#!/bin/sh
+# bench.sh — the repository's perf-trajectory harness.
+#
+# Runs the compiled-kernel microbenches (compile, feed, full-generation
+# evaluation) and, unless BENCH_QUICK=1, the root figure-regeneration
+# benches, then renders everything into a machine-readable trajectory
+# record via cmd/benchjson:
+#
+#	scripts/bench.sh                 # full run, writes BENCH_PR3.json
+#	BENCH_QUICK=1 scripts/bench.sh   # kernel microbenches only
+#
+# The JSON carries ns/op, B/op, allocs/op and custom figure metrics for
+# every benchmark, the pinned pre-PR baselines, and headline speedup
+# ratios — the numbers future perf PRs are judged against.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=${BENCH_OUT:-BENCH_PR3.json}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== kernel microbenches"
+go test -run=NONE -bench='BenchmarkNetworkCompile|BenchmarkNetworkFeed' \
+    -benchmem -count=3 -benchtime=2s ./internal/network/ | tee -a "$tmp"
+go test -run=NONE -bench='BenchmarkEvaluateGeneration' \
+    -benchmem -count=5 -benchtime=3s ./internal/evolve/ | tee -a "$tmp"
+
+if [ "${BENCH_QUICK:-0}" != "1" ]; then
+    echo "== figure benches (also regenerates results/)"
+    go test -run=NONE -bench=. -benchmem -benchtime=1x -timeout=60m . | tee -a "$tmp"
+fi
+
+go run ./cmd/benchjson < "$tmp" > "$out"
+echo "wrote $out"

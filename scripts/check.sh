@@ -3,9 +3,12 @@
 #
 # Runs, in order: gofmt (fails on any unformatted file), go vet, a full
 # build, the full test suite, the race detector over the packages that
-# exercise concurrency (the evolve study pool and the hardware counter
-# registry, fault injector included), and a short fuzz smoke over the
-# two untrusted-input decoders (trace parser, NEAT checkpoint).
+# exercise concurrency (the evolve evaluation pool and study runner, the
+# compiled-network kernel and its reuse cache, the hardware counter
+# registry, fault injector included), a one-iteration smoke over the
+# kernel trajectory benchmarks (so a change that breaks the bench
+# harness fails here, not in scripts/bench.sh), and a short fuzz smoke
+# over the two untrusted-input decoders (trace parser, NEAT checkpoint).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -27,8 +30,14 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (evolve, hw)"
-go test -race ./internal/evolve/ ./internal/hw/...
+echo "== go test -race (evolve, network, hw)"
+go test -race ./internal/evolve/... ./internal/network/... ./internal/hw/...
+
+echo "== bench smoke (kernel trajectory benches, 1 iteration)"
+go test -run=NONE -bench='BenchmarkNetworkCompile|BenchmarkNetworkFeed' \
+    -benchtime=1x ./internal/network/
+go test -run=NONE -bench='BenchmarkEvaluateGeneration' \
+    -benchtime=1x ./internal/evolve/
 
 echo "== fuzz smoke (trace, neat checkpoint)"
 # -fuzzminimizetime is bounded in execs: the default 60s-per-input
