@@ -36,12 +36,16 @@ func benchOpt() experiments.Options {
 }
 
 // regenerate runs one experiment once per benchmark iteration, writing
-// the rendered output on the first.
+// the rendered output on the first. The shared run cache is dropped
+// before every iteration so each figure bench still measures its own
+// cold-cache cost, comparable across the BENCH_*.json trajectory; the
+// warm-harness number lives in BenchmarkExperimentSuite.
 func regenerate(b *testing.B, id string) *experiments.Result {
 	b.Helper()
 	var res *experiments.Result
 	var err error
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCaches()
 		res, err = experiments.Run(id, benchOpt())
 		if err != nil {
 			b.Fatal(err)

@@ -45,15 +45,30 @@ type Document struct {
 	Headlines  map[string]float64  `json:"headlines"`
 }
 
-// baselines are the pre-PR3 kernel numbers, measured on the same
-// machine at the commit preceding the compiled-kernel change, with the
-// same benchmark bodies (population 64, 8 warm-up generations,
-// parallelism 4 for EvaluateGeneration; the 8-input 64-pop evolved
-// genome for the network microbenches).
+// baselines are the pinned pre-change numbers, measured on the same
+// machine at the commit preceding each tracked change, with the same
+// benchmark bodies.
+//
+// PR3 kernel benches (at a523566): population 64, 8 warm-up
+// generations, parallelism 4 for EvaluateGeneration; the 8-input
+// 64-pop evolved genome for the network microbenches.
+//
+// PR4 harness/replay benches (at 14eb020): BenchmarkExperimentSuite is
+// the pre-cache serial harness — every registered experiment
+// regenerated in id order with no run sharing — at the suiteOpt
+// fidelity (seed 42, 1 run, 20 generations, pop 64, RAM pop 96, RAM
+// generations 12), best of 3. The SoC/EvE replay bodies are unchanged
+// by PR4 (only their callers were parallelized), so their baselines
+// were measured with the PR4 benchmark bodies at the pre-change model
+// code; their headline ratios are expected to hover near 1 and exist
+// to catch replay-layer regressions in future PRs.
 var baselines = map[string]Baseline{
 	"BenchmarkNetworkCompile":     {Commit: "a523566", NsPerOp: 10884, BPerOp: 8888, Allocs: 101},
 	"BenchmarkNetworkFeed":        {Commit: "a523566", NsPerOp: 450.9, BPerOp: 280, Allocs: 6},
 	"BenchmarkEvaluateGeneration": {Commit: "a523566", NsPerOp: 1465537, BPerOp: 585224, Allocs: 29172},
+	"BenchmarkExperimentSuite":    {Commit: "14eb020", NsPerOp: 27692578274},
+	"BenchmarkSoCRunGeneration":   {Commit: "14eb020", NsPerOp: 17511, BPerOp: 10424, Allocs: 154},
+	"BenchmarkEvEReplay":          {Commit: "14eb020", NsPerOp: 58341, BPerOp: 25648, Allocs: 214},
 }
 
 func main() {

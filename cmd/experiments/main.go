@@ -4,10 +4,16 @@
 //
 //	experiments -list
 //	experiments -run fig9a
+//	experiments -run fig11b,fig11c
 //	experiments -run all -pop 150 -ram-pop 150
+//	experiments -run all -j 1          # fully serial harness
 //
-// Output is the fixed-width text form of each figure's rows/series;
-// EXPERIMENTS.md maps each to the paper's plot.
+// Independent experiments run concurrently (capped by -j, default
+// NumCPU) over a shared evolution-run cache, so each unique run
+// evolves once per invocation; results stream out in id order and are
+// byte-identical at every -j. Output is the fixed-width text form of
+// each figure's rows/series; EXPERIMENTS.md maps each to the paper's
+// plot.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 
@@ -26,7 +33,8 @@ import (
 func main() {
 	var (
 		list    = flag.Bool("list", false, "list experiment ids")
-		run     = flag.String("run", "all", "experiment id or 'all'")
+		run     = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		jobs    = flag.Int("j", runtime.NumCPU(), "max concurrent experiments/replays (1 = serial)")
 		seed    = flag.Uint64("seed", 42, "base seed")
 		runs    = flag.Int("runs", 3, "runs per workload for distribution figures")
 		gens    = flag.Int("generations", 30, "generation budget (control workloads)")
@@ -41,7 +49,19 @@ func main() {
 		return
 	}
 
-	// Ctrl-C cancels the in-flight experiment; completed experiments
+	ids := experiments.IDs()
+	if *run != "all" {
+		ids = strings.Split(*run, ",")
+		for _, id := range ids {
+			if !experiments.Has(id) {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (have %s)\n",
+					id, strings.Join(experiments.IDs(), ", "))
+				os.Exit(2)
+			}
+		}
+	}
+
+	// Ctrl-C cancels the in-flight experiments; completed experiments
 	// have already been rendered.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -53,33 +73,31 @@ func main() {
 		Population:     *pop,
 		RAMPopulation:  *ramPop,
 		RAMGenerations: *ramGens,
+		Parallelism:    *jobs,
 		Ctx:            ctx,
 	}
 
-	ids := []string{*run}
-	if *run == "all" {
-		ids = experiments.IDs()
-	}
+	// RunAll delivers outcomes in id order on this goroutine, so output
+	// never interleaves no matter how the experiments are scheduled.
 	failed := false
-	for _, id := range ids {
-		if ctx.Err() != nil {
-			fmt.Fprintln(os.Stderr, "experiments: interrupted")
-			os.Exit(1)
-		}
-		res, err := experiments.Run(id, opt)
-		if err != nil {
-			if errors.Is(err, context.Canceled) {
-				fmt.Fprintf(os.Stderr, "experiments: %s: interrupted\n", id)
-				os.Exit(1)
+	experiments.RunAll(ids, opt, func(o experiments.Outcome) {
+		if o.Err != nil {
+			if errors.Is(o.Err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "experiments: %s: interrupted\n", o.ID)
+			} else {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", o.ID, o.Err)
 			}
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
 			failed = true
-			continue
+			return
 		}
-		if err := res.Render(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+		if err := o.Res.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", o.ID, err)
 			failed = true
 		}
+	})
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "experiments: interrupted")
+		os.Exit(1)
 	}
 	if failed {
 		os.Exit(1)

@@ -124,7 +124,7 @@ func (g *RAMGame) correctAction() int {
 // Step implements Env.
 func (g *RAMGame) Step(action []float64) ([]float64, float64, bool) {
 	want := g.correctAction()
-	got := argmax(action[:minInt(len(action), g.actions)])
+	got := argmax(action[:min(len(action), g.actions)])
 
 	reward := 0.0
 	switch {
@@ -169,10 +169,3 @@ func (g *RAMGame) Score() int { return g.score }
 
 // Lives returns the remaining lives.
 func (g *RAMGame) Lives() int { return g.lives }
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -328,6 +328,36 @@ dispatch:
 // (tests, diagnostics).
 func (r *Runner) PhenoCache() *network.Cache { return &r.phenos }
 
+// ScoreGenome re-evaluates one genome on the runner's workload with
+// the runner's deterministic episode seeds, without touching the
+// population, the worker pool, or the phenotype cache — safe to call
+// concurrently on a finished run whose artifacts are shared (the
+// experiment harness's run cache hands one evolved runner to many
+// figure generators). The returned fitness is exactly what
+// EvaluateGeneration would assign the genome at the current generation
+// boundary: the same per-(generation, genome, episode) seeds, episode
+// fitnesses summed in episode order.
+func (r *Runner) ScoreGenome(ctx context.Context, g *gene.Genome) (fitness float64, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	e, err := env.New(r.Workload.EnvName)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			fitness, err = 0, fmt.Errorf("genome %d: evaluation panic: %v", g.ID, p)
+		}
+	}()
+	net, err := new(network.Builder).Build(g)
+	if err != nil {
+		return 0, fmt.Errorf("genome %d: %w", g.ID, err)
+	}
+	res := r.runEpisodes(net, e, r.Workload.NewShaper(), g)
+	return res.fitness, res.err
+}
+
 // safeEvaluateGenome is the whole-genome evaluation unit of the serial
 // fast path: compile through the reuse cache, run every episode, with
 // the same panic shield as the parallel workers.

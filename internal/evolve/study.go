@@ -63,6 +63,10 @@ type StudyOptions struct {
 	// generations; 0 disables periodic checkpoints (a cancelled run
 	// still saves a final checkpoint when CheckpointDir is set).
 	CheckpointEvery int
+	// Parallelism caps the number of runs in flight; 0 means
+	// runtime.NumCPU(). Callers embedding studies in a wider parallel
+	// pipeline pass their own cap so total concurrency stays bounded.
+	Parallelism int
 }
 
 // RunStudy executes runs independent evolutions, each up to
@@ -88,7 +92,11 @@ func RunStudyWithSink(ctx context.Context, workload string, cfg neat.Config, run
 // without taking down the study.
 func RunStudyContext(ctx context.Context, workload string, cfg neat.Config, runs, maxGenerations int, seed uint64, opt StudyOptions) (*Study, error) {
 	st := &Study{Workload: workload, Results: make([]StudyResult, runs)}
-	sem := make(chan struct{}, runtime.NumCPU())
+	slots := opt.Parallelism
+	if slots <= 0 {
+		slots = runtime.NumCPU()
+	}
+	sem := make(chan struct{}, slots)
 	var wg sync.WaitGroup
 	for run := 0; run < runs; run++ {
 		wg.Add(1)

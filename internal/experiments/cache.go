@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/evolve"
+)
+
+// This file is the harness's shared evolution store. The expensive
+// artifacts of the pipeline — a single evolved run, a priced
+// comparison, a multi-run study — are memoized behind singleflight
+// maps, so one cmd/experiments invocation performs each unique
+// evolution exactly once no matter how many figures ask for it or how
+// many of them are running concurrently. This is the paper's
+// genome-level-reuse observation applied to the simulation layer:
+// identical work is computed once and shared.
+//
+// Sharing is sound because a finished run is immutable: every consumer
+// reads Runner.History, Pop.Genomes, and the trace; none of them write
+// (resilience re-scores champions through the non-mutating
+// Runner.ScoreGenome). Byte-identical outputs follow from determinism:
+// an evolution run is a pure function of its key, so handing a figure
+// the cached run is indistinguishable from letting it re-evolve.
+
+// runKey identifies one unique evolution run. seed is the effective
+// run seed (base seed plus the run offset), so the key spaces of
+// different base seeds or run indices never collide.
+type runKey struct {
+	workload    string
+	population  int
+	generations int
+	seed        uint64
+}
+
+// runKeyFor derives the cache key runWorkload uses for one
+// (workload, options, run) request.
+func runKeyFor(workload string, opt Options, run int) runKey {
+	return runKey{
+		workload:    workload,
+		population:  opt.popFor(workload),
+		generations: opt.gensFor(workload),
+		seed:        opt.Seed + uint64(run)*7919,
+	}
+}
+
+// studyKey identifies one unique multi-run study. seed is the study
+// base seed; per-run seeds derive from it via evolve.RunSeed, a
+// different stream from single-run seeds, so studies and single runs
+// never share entries.
+type studyKey struct {
+	workload    string
+	population  int
+	generations int
+	runs        int
+	seed        uint64
+}
+
+// flight is one in-progress or completed computation.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// flightMap memoizes computations with singleflight semantics: the
+// first requester of a key computes, concurrent requesters of the same
+// key block on that computation, later requesters get the cached
+// value. A failed computation is evicted before its waiters are
+// released, so a transient error (a cancelled context) does not poison
+// the key forever — but its waiters share the error rather than piling
+// on retries.
+type flightMap[K comparable, V any] struct {
+	mu       sync.Mutex
+	m        map[K]*flight[V]
+	computes atomic.Int64
+}
+
+// get returns the memoized value for key, computing it via compute if
+// this is the key's first request.
+func (fm *flightMap[K, V]) get(key K, compute func() (V, error)) (V, error) {
+	fm.mu.Lock()
+	if fm.m == nil {
+		fm.m = map[K]*flight[V]{}
+	}
+	if f, ok := fm.m[key]; ok {
+		fm.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	fm.m[key] = f
+	fm.mu.Unlock()
+
+	fm.computes.Add(1)
+	f.val, f.err = compute()
+	if f.err != nil {
+		fm.mu.Lock()
+		delete(fm.m, key)
+		fm.mu.Unlock()
+	}
+	close(f.done)
+	return f.val, f.err
+}
+
+// reset drops every entry and zeroes the compute counter.
+func (fm *flightMap[K, V]) reset() {
+	fm.mu.Lock()
+	fm.m = nil
+	fm.mu.Unlock()
+	fm.computes.Store(0)
+}
+
+// The three stores, in dependency order: comparisons consume runs,
+// figures consume all three.
+var (
+	runCache   flightMap[runKey, *evolved]
+	studyCache flightMap[studyKey, *evolve.Study]
+	priceCache flightMap[runKey, *comparison]
+)
+
+// ResetCaches drops every memoized run, study, and comparison. A CLI
+// invocation never needs this; it exists for benchmarks and tests that
+// measure or compare cold-cache behavior within one process.
+func ResetCaches() {
+	runCache.reset()
+	studyCache.reset()
+	priceCache.reset()
+}
+
+// evolutionsExecuted reports how many evolution computations ran since
+// the last reset: single runs plus studies (a study internally
+// executes its configured number of runs, but enters the pipeline as
+// one computation).
+func evolutionsExecuted() int64 {
+	return runCache.computes.Load() + studyCache.computes.Load()
+}

@@ -76,28 +76,54 @@ func fig4Suite() []string {
 	return []string{"cartpole", "lunarlander", "mountaincar", "asterix-ram"}
 }
 
-// studyFor runs the multi-run characterization study of one workload.
+// studyFor returns the workload's multi-run characterization study,
+// computing it on first request and serving identical later requests
+// from the shared study cache (Fig. 4a, 5a, and 5b previously each
+// re-ran the same control studies). Study runs themselves fan out
+// under the harness parallelism cap.
 func studyFor(wl string, opt Options) (*evolve.Study, error) {
-	cfg := neat.DefaultConfig(1, 1)
-	cfg.PopulationSize = opt.popFor(wl)
-	return evolve.RunStudyContext(opt.ctx(), wl, cfg, opt.Runs, opt.gensFor(wl), opt.Seed, evolve.StudyOptions{})
+	key := studyKey{
+		workload:    wl,
+		population:  opt.popFor(wl),
+		generations: opt.gensFor(wl),
+		runs:        opt.Runs,
+		seed:        opt.Seed,
+	}
+	return studyCache.get(key, func() (*evolve.Study, error) {
+		cfg := neat.DefaultConfig(1, 1)
+		cfg.PopulationSize = opt.popFor(wl)
+		return evolve.RunStudyContext(opt.ctx(), wl, cfg, opt.Runs, opt.gensFor(wl), opt.Seed,
+			evolve.StudyOptions{Parallelism: opt.workers()})
+	})
 }
 
-// studyRecords runs the study with a record sink attached: the
-// per-generation characterization arrives as structured hwsim records
-// rather than positional struct fields.
+// studyRecords returns the per-generation record stream of the
+// workload's study, synthesized from the cached study's histories in
+// (run, generation) order — the same multiset a live sink would have
+// captured, in the order hwsim.Log.Records sorts every stream into, so
+// downstream readers see identical records either way.
 func studyRecords(wl string, opt Options) (*hwsim.Log, error) {
-	cfg := neat.DefaultConfig(1, 1)
-	cfg.PopulationSize = opt.popFor(wl)
+	st, err := studyFor(wl, opt)
+	if err != nil {
+		return nil, err
+	}
 	log := &hwsim.Log{}
-	_, err := evolve.RunStudyWithSink(opt.ctx(), wl, cfg, opt.Runs, opt.gensFor(wl), opt.Seed, log)
-	return log, err
+	for _, res := range st.Results {
+		sink := hwsim.Tagged{Sink: log, Workload: wl, Run: res.Run}
+		for _, g := range res.History {
+			sink.Record(hwsim.Record{Generation: g.Generation, Report: g.CounterReport()})
+		}
+	}
+	return log, nil
 }
 
 // Fig4a regenerates the normalized-fitness evolution curves from
 // parallel multi-run studies (the paper ran 100 runs per application).
 func Fig4a(opt Options) (*Result, error) {
 	r := &Result{ID: "fig4a", Title: "Normalized fitness vs generation"}
+	if err := warmStudies(fig4Suite(), opt); err != nil {
+		return nil, err
+	}
 	for _, wl := range fig4Suite() {
 		st, err := studyFor(wl, opt)
 		if err != nil {
@@ -133,6 +159,9 @@ func Fig4a(opt Options) (*Result, error) {
 func Fig4b(opt Options) (*Result, error) {
 	r := &Result{ID: "fig4b", Title: "Population gene totals vs generation"}
 	suite := append(evolve.ControlSuite(), "airraid-ram", "alien-ram", "asterix-ram")
+	if err := warmRuns(suite, opt); err != nil {
+		return nil, err
+	}
 	t := Table{Header: []string{"workload", "gen0", "mid", "final", "genes/genome", "pop"}}
 	for _, wl := range suite {
 		e, err := runWorkload(wl, opt, 0)
@@ -161,6 +190,9 @@ func Fig4c(opt Options) (*Result, error) {
 	r := &Result{ID: "fig4c", Title: "Fittest parent reuse vs generation"}
 	suite := []string{"acrobot", "cartpole", "lunarlander", "mountaincar",
 		"airraid-ram", "alien-ram"}
+	if err := warmRuns(suite, opt); err != nil {
+		return nil, err
+	}
 	t := Table{Header: []string{"workload", "mean-reuse", "max-reuse", "reuse/pop"}}
 	for _, wl := range suite {
 		e, err := runWorkload(wl, opt, 0)
@@ -197,7 +229,11 @@ func Fig4c(opt Options) (*Result, error) {
 // for the RAM suite at paper population.
 func Fig5a(opt Options) (*Result, error) {
 	r := &Result{ID: "fig5a", Title: "Crossover+mutation ops per generation (distribution)"}
-	for _, wl := range append(evolve.ControlSuite(), "alien-ram") {
+	suite := append(evolve.ControlSuite(), "alien-ram")
+	if err := warmStudies(suite, opt); err != nil {
+		return nil, err
+	}
+	for _, wl := range suite {
 		log, err := studyRecords(wl, opt)
 		if err != nil {
 			return nil, err
@@ -236,7 +272,11 @@ func Fig5a(opt Options) (*Result, error) {
 func Fig5b(opt Options) (*Result, error) {
 	r := &Result{ID: "fig5b", Title: "Memory footprint per generation (distribution)"}
 	paperPop := 150.0
-	for _, wl := range append(evolve.ControlSuite(), "amidar-ram") {
+	suite := append(evolve.ControlSuite(), "amidar-ram")
+	if err := warmStudies(suite, opt); err != nil {
+		return nil, err
+	}
+	for _, wl := range suite {
 		log, err := studyRecords(wl, opt)
 		if err != nil {
 			return nil, err
@@ -265,6 +305,9 @@ func Fig5b(opt Options) (*Result, error) {
 func Fig11a(opt Options) (*Result, error) {
 	r := &Result{ID: "fig11a", Title: "Gene-type composition (connections vs nodes)"}
 	t := Table{Header: []string{"workload", "node-genes", "conn-genes", "conn-share%"}}
+	if err := warmRuns(evolve.PaperSuite(), opt); err != nil {
+		return nil, err
+	}
 	for _, wl := range evolve.PaperSuite() {
 		e, err := runWorkload(wl, opt, 0)
 		if err != nil {

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/es"
 	"repro/internal/evolve"
@@ -72,31 +71,16 @@ type comparison struct {
 	soCfg    energy.SoCConfig
 }
 
-// comparisonCache memoizes priced workloads: eight Fig. 9/10 panels
-// share the same six evolution runs.
-var comparisonCache = struct {
-	sync.Mutex
-	m map[string]*comparison
-}{m: map[string]*comparison{}}
-
 // runComparison evolves the workload and prices its last generation
-// everywhere, memoized per (workload, options).
+// everywhere, memoized in the shared singleflight store: eight
+// Fig. 9/10 panels share the same six evolution runs, and concurrent
+// panels block on one pricing instead of racing to duplicate it. The
+// key is the run key of the underlying evolution (run 0), so the cache
+// is insensitive to option fields that do not change the run.
 func runComparison(wl string, opt Options) (*comparison, error) {
-	key := fmt.Sprintf("%s/%+v", wl, opt)
-	comparisonCache.Lock()
-	if c, ok := comparisonCache.m[key]; ok {
-		comparisonCache.Unlock()
-		return c, nil
-	}
-	comparisonCache.Unlock()
-	c, err := runComparisonUncached(wl, opt)
-	if err != nil {
-		return nil, err
-	}
-	comparisonCache.Lock()
-	comparisonCache.m[key] = c
-	comparisonCache.Unlock()
-	return c, nil
+	return priceCache.get(runKeyFor(wl, opt, 0), func() (*comparison, error) {
+		return runComparisonUncached(wl, opt)
+	})
 }
 
 func runComparisonUncached(wl string, opt Options) (*comparison, error) {
@@ -154,6 +138,9 @@ func (c *comparison) genesysEvolutionSeconds() float64 {
 func Fig9a(opt Options) (*Result, error) {
 	r := &Result{ID: "fig9a", Title: "Inference runtime per generation (seconds)"}
 	t := Table{Header: []string{"workload", "CPU_a", "CPU_b", "GPU_a", "GPU_b", "GENESYS", "best-GPU/GENESYS"}}
+	if err := warmComparisons(evolve.PaperSuite(), opt); err != nil {
+		return nil, err
+	}
 	for _, wl := range evolve.PaperSuite() {
 		c, err := runComparison(wl, opt)
 		if err != nil {
@@ -187,6 +174,9 @@ func Fig9a(opt Options) (*Result, error) {
 func Fig9b(opt Options) (*Result, error) {
 	r := &Result{ID: "fig9b", Title: "Inference energy per generation (joules)"}
 	t := Table{Header: []string{"workload", "CPU_c", "CPU_d", "GPU_c", "GPU_d", "GENESYS", "best/GENESYS"}}
+	if err := warmComparisons(evolve.PaperSuite(), opt); err != nil {
+		return nil, err
+	}
 	for _, wl := range evolve.PaperSuite() {
 		c, err := runComparison(wl, opt)
 		if err != nil {
@@ -220,6 +210,9 @@ func Fig9b(opt Options) (*Result, error) {
 func Fig9c(opt Options) (*Result, error) {
 	r := &Result{ID: "fig9c", Title: "Evolution runtime per generation (seconds)"}
 	t := Table{Header: []string{"workload", "CPU_a", "CPU_c", "GENESYS", "CPU_a/GENESYS"}}
+	if err := warmComparisons(evolve.PaperSuite(), opt); err != nil {
+		return nil, err
+	}
 	for _, wl := range evolve.PaperSuite() {
 		c, err := runComparison(wl, opt)
 		if err != nil {
@@ -244,6 +237,9 @@ func Fig9c(opt Options) (*Result, error) {
 func Fig9d(opt Options) (*Result, error) {
 	r := &Result{ID: "fig9d", Title: "Evolution energy per generation (joules)"}
 	t := Table{Header: []string{"workload", "GPU_a", "GPU_c", "GENESYS", "GPU_c/GENESYS"}}
+	if err := warmComparisons(evolve.PaperSuite(), opt); err != nil {
+		return nil, err
+	}
 	for _, wl := range evolve.PaperSuite() {
 		c, err := runComparison(wl, opt)
 		if err != nil {
@@ -268,6 +264,9 @@ func Fig9d(opt Options) (*Result, error) {
 // Fig10ab regenerates the GPU inference time split (memcpy vs kernel).
 func Fig10ab(opt Options) (*Result, error) {
 	r := &Result{ID: "fig10ab", Title: "GPU inference time distribution"}
+	if err := warmComparisons(evolve.PaperSuite(), opt); err != nil {
+		return nil, err
+	}
 	for _, legend := range []string{"GPU_a", "GPU_b"} {
 		t := Table{
 			Title:  legend,
@@ -299,6 +298,9 @@ func Fig10ab(opt Options) (*Result, error) {
 func Fig10c(opt Options) (*Result, error) {
 	r := &Result{ID: "fig10c", Title: "GeneSys inference time distribution"}
 	t := Table{Header: []string{"workload", "to-ADAM-ms", "from-ADAM-ms", "compute-ms", "movement%"}}
+	if err := warmComparisons(evolve.PaperSuite(), opt); err != nil {
+		return nil, err
+	}
 	for _, wl := range evolve.PaperSuite() {
 		c, err := runComparison(wl, opt)
 		if err != nil {
@@ -324,7 +326,11 @@ func Fig10c(opt Options) (*Result, error) {
 func Fig10d(opt Options) (*Result, error) {
 	r := &Result{ID: "fig10d", Title: "On-device memory footprint (bytes)"}
 	t := Table{Header: []string{"workload", "GPU_a", "GPU_b", "GENESYS", "GENESYS/GPU_a", "GPU_b/GENESYS"}}
-	for _, wl := range []string{"mountaincar", "amidar-ram"} {
+	wls := []string{"mountaincar", "amidar-ram"}
+	if err := warmComparisons(wls, opt); err != nil {
+		return nil, err
+	}
+	for _, wl := range wls {
 		c, err := runComparison(wl, opt)
 		if err != nil {
 			return nil, err

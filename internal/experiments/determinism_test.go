@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// renderAll regenerates every registered experiment through RunAll at
+// the given parallelism, returning each id's rendered text.
+func renderAll(t *testing.T, parallelism int) map[string]string {
+	t.Helper()
+	ResetCaches()
+	opt := quickOpt()
+	opt.Parallelism = parallelism
+	out := map[string]string{}
+	err := RunAll(IDs(), opt, func(o Outcome) {
+		if o.Err != nil {
+			t.Errorf("%s: %v", o.ID, o.Err)
+			return
+		}
+		var buf bytes.Buffer
+		if err := o.Res.Render(&buf); err != nil {
+			t.Errorf("%s: render: %v", o.ID, err)
+			return
+		}
+		out[o.ID] = buf.String()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	return out
+}
+
+// TestParallelSerialIdentical is the PR's correctness bar: every
+// registered figure/table renders byte-identically whether the harness
+// runs fully serial (-j 1) or wide (-j 8). Evolution is a pure
+// function of its cache key and sweep rows assemble in index order, so
+// scheduling must not be observable in any output.
+func TestParallelSerialIdentical(t *testing.T) {
+	t.Cleanup(ResetCaches)
+	serial := renderAll(t, 1)
+	parallel := renderAll(t, 8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial rendered %d ids, parallel %d", len(serial), len(parallel))
+	}
+	for _, id := range IDs() {
+		if serial[id] != parallel[id] {
+			t.Errorf("%s: parallel output differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, serial[id], parallel[id])
+		}
+	}
+}
+
+// TestRunAllOrderAndErrors pins RunAll's contract: outcomes arrive in
+// the order ids were given, and an unknown id fails fast before any
+// evolution runs.
+func TestRunAllOrderAndErrors(t *testing.T) {
+	t.Cleanup(ResetCaches)
+	ResetCaches()
+	ids := []string{"table3", "fig8a", "fig8b"}
+	var got []string
+	err := RunAll(ids, quickOpt(), func(o Outcome) {
+		if o.Err != nil {
+			t.Fatalf("%s: %v", o.ID, o.Err)
+		}
+		got = append(got, o.ID)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("outcome order %v, want %v", got, ids)
+		}
+	}
+
+	if err := RunAll([]string{"table3", "nope"}, quickOpt(), nil); err == nil {
+		t.Fatal("unknown id accepted")
+	} else if want := `unknown experiment "nope"`; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Fatalf("error %q does not name the unknown id", err)
+	}
+	if n := evolutionsExecuted(); n != 0 {
+		t.Fatalf("unknown id still ran %d evolutions", n)
+	}
+}

@@ -42,6 +42,12 @@ type Options struct {
 	RAMPopulation int
 	// RAMGenerations bounds RAM-workload runs separately.
 	RAMGenerations int
+	// Parallelism caps the harness's concurrency: generators in flight
+	// under RunAll, design points in flight inside a sweep figure, and
+	// study runs in flight. 0 means runtime.NumCPU(). 1 is the fully
+	// serial harness; outputs are byte-identical at every setting
+	// (pinned by TestParallelSerialIdentical).
+	Parallelism int
 	// Ctx, when set, cancels in-flight evolution runs (e.g. on SIGINT);
 	// nil means context.Background().
 	Ctx context.Context
@@ -170,6 +176,12 @@ func IDs() []string {
 	return out
 }
 
+// Has reports whether an experiment id is registered.
+func Has(id string) bool {
+	_, ok := registry[id]
+	return ok
+}
+
 // Run regenerates the named experiment.
 func Run(id string, opt Options) (*Result, error) {
 	g, ok := registry[id]
@@ -207,8 +219,21 @@ type evolved struct {
 	solved bool
 }
 
-// runWorkload evolves one workload with a trace recorder attached.
+// runWorkload returns the workload's evolved run, evolving it on the
+// first request and serving every later (or concurrent) request for
+// the same (workload, population, generations, seed, run) key from the
+// shared run cache. The returned run is shared: callers read its
+// history, population, and trace but must not mutate them (re-scoring
+// goes through evolve.Runner.ScoreGenome).
 func runWorkload(workload string, opt Options, run int) (*evolved, error) {
+	return runCache.get(runKeyFor(workload, opt, run), func() (*evolved, error) {
+		return evolveWorkload(workload, opt, run)
+	})
+}
+
+// evolveWorkload evolves one workload with a trace recorder attached —
+// the uncached body of runWorkload.
+func evolveWorkload(workload string, opt Options, run int) (*evolved, error) {
 	cfg := neat.DefaultConfig(1, 1)
 	cfg.PopulationSize = opt.popFor(workload)
 	r, err := evolve.NewRunner(workload, cfg, opt.Seed+uint64(run)*7919)

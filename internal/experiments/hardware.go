@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/hw/energy"
 	"repro/internal/hw/eve"
+	"repro/internal/hw/hwsim"
 	"repro/internal/hw/noc"
 	"repro/internal/trace"
 )
@@ -45,14 +46,24 @@ func Fig8a(opt Options) (*Result, error) {
 	return r, nil
 }
 
-// Fig8b regenerates the roofline-power sweep over EvE PE count.
+// Fig8b regenerates the roofline-power sweep over EvE PE count. Design
+// points are independent, so they evaluate in parallel; rows and
+// series are assembled from the index-ordered slots, byte-identical to
+// the serial sweep.
 func Fig8b(opt Options) (*Result, error) {
 	r := &Result{ID: "fig8b", Title: "Roofline power vs EvE PE count"}
 	t := Table{Header: []string{"PEs", "EvE-mW", "SRAM-mW", "ADAM-mW", "M0-mW", "net-mW"}}
-	for _, n := range peSweep {
+	powers := make([]energy.PowerBreakdown, len(peSweep))
+	if err := forIndexed(opt.workers(), len(peSweep), func(i int) error {
 		cfg := energy.DefaultSoC()
-		cfg.NumEvEPEs = n
-		p := cfg.RooflinePower()
+		cfg.NumEvEPEs = peSweep[i]
+		powers[i] = cfg.RooflinePower()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, n := range peSweep {
+		p := powers[i]
 		t.Rows = append(t.Rows, []string{
 			inum(n), fnum(p.EvE), fnum(p.SRAM), fnum(p.ADAM), fnum(p.CPU), fnum(p.Total),
 		})
@@ -63,14 +74,22 @@ func Fig8b(opt Options) (*Result, error) {
 	return r, nil
 }
 
-// Fig8c regenerates the area sweep over EvE PE count.
+// Fig8c regenerates the area sweep over EvE PE count (parallel design
+// points, index-ordered rows, like Fig8b).
 func Fig8c(opt Options) (*Result, error) {
 	r := &Result{ID: "fig8c", Title: "Area footprint vs EvE PE count"}
 	t := Table{Header: []string{"PEs", "EvE-mm2", "SRAM-mm2", "ADAM-mm2", "M0-mm2", "total-mm2"}}
-	for _, n := range peSweep {
+	areas := make([]energy.AreaBreakdown, len(peSweep))
+	if err := forIndexed(opt.workers(), len(peSweep), func(i int) error {
 		cfg := energy.DefaultSoC()
-		cfg.NumEvEPEs = n
-		a := cfg.Area()
+		cfg.NumEvEPEs = peSweep[i]
+		areas[i] = cfg.Area()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, n := range peSweep {
+		a := areas[i]
 		t.Rows = append(t.Rows, []string{
 			inum(n), fnum(a.EvE), fnum(a.SRAM), fnum(a.ADAM), fnum(a.CPU), fnum(a.Total),
 		})
@@ -104,10 +123,19 @@ func Fig11b(opt Options) (*Result, error) {
 	}
 	r := &Result{ID: "fig11b", Title: "SRAM reads: point-to-point vs multicast tree"}
 	t := Table{Header: []string{"PEs", "p2p-reads", "mcast-reads", "p2p-rd/cyc", "mcast-rd/cyc", "reduction"}}
+	var sweep []int
 	for _, n := range peSweep {
-		if n > 256 {
-			continue // the paper's Fig 11b sweeps 2..256
+		if n <= 256 { // the paper's Fig 11b sweeps 2..256
+			sweep = append(sweep, n)
 		}
+	}
+	// Each design point replays the same trace generation on two private
+	// engines; RunGeneration only reads the trace, so the points fan out
+	// across workers and land in index-ordered snapshot slots.
+	type nocPoint struct{ p2p, mc hwsim.Report }
+	points := make([]nocPoint, len(sweep))
+	if err := forIndexed(opt.workers(), len(sweep), func(i int) error {
+		n := sweep[i]
 		// An unthrottled SRAM exposes the raw read-rate demand of each
 		// topology (the paper's y-axis), rather than the bandwidth-
 		// clamped service rate.
@@ -121,8 +149,16 @@ func Fig11b(opt Options) (*Result, error) {
 		mcEng.RunGeneration(g)
 		// Read the results off the engines' counter registries — the
 		// uniform ledger every hardware block charges.
-		p2p := p2pEng.Counters().Snapshot()
-		mc := mcEng.Counters().Snapshot()
+		points[i] = nocPoint{
+			p2p: p2pEng.Counters().Snapshot(),
+			mc:  mcEng.Counters().Snapshot(),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, n := range sweep {
+		p2p, mc := points[i].p2p, points[i].mc
 		red := float64(p2p.Int("sram_reads")) / float64(mc.Int("sram_reads"))
 		t.Rows = append(t.Rows, []string{
 			inum(n), inum(p2p.Int("sram_reads")), inum(mc.Int("sram_reads")),
@@ -161,11 +197,18 @@ func Fig11c(opt Options) (*Result, error) {
 
 	r := &Result{ID: "fig11c", Title: "SRAM energy & generation runtime vs EvE PE count"}
 	t := Table{Header: []string{"PEs", "EvE-cycles", "ADAM-cycles", "SRAM-uJ"}}
-	for _, n := range peSweep {
-		cfg := eve.DefaultConfig(n, noc.MulticastTree)
+	snaps := make([]hwsim.Report, len(peSweep))
+	if err := forIndexed(opt.workers(), len(peSweep), func(i int) error {
+		cfg := eve.DefaultConfig(peSweep[i], noc.MulticastTree)
 		eng := eve.New(cfg, nil)
 		eng.RunGeneration(g)
-		rep := eng.Counters().Snapshot()
+		snaps[i] = eng.Counters().Snapshot()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, n := range peSweep {
+		rep := snaps[i]
 		t.Rows = append(t.Rows, []string{
 			inum(n), inum(rep.Int("stream_cycles")), inum(adamCycles),
 			fnum(rep.Float("sram_energy_pj") / 1e6),

@@ -1,11 +1,9 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"math"
 
-	"repro/internal/evolve"
 	"repro/internal/gene"
 	"repro/internal/hw/energy"
 	"repro/internal/hw/fault"
@@ -124,7 +122,7 @@ func ResilienceFor(workload string, opt Options) (*Result, error) {
 		Title:  "Champion fitness under silent weight corruption",
 		Header: []string{"rate", "scheme", "silent-rate", "flipped", "fitness", "retained"},
 	}
-	baseFit, err := scoreGenome(e.runner, best)
+	baseFit, err := e.runner.ScoreGenome(opt.ctx(), best)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +137,7 @@ func ResilienceFor(workload string, opt Options) (*Result, error) {
 			corrupted, flipped := corruptWeights(best, silent, opt.Seed)
 			fit := baseFit
 			if flipped > 0 {
-				if fit, err = scoreGenome(e.runner, corrupted); err != nil {
+				if fit, err = e.runner.ScoreGenome(opt.ctx(), corrupted); err != nil {
 					return nil, err
 				}
 			}
@@ -196,19 +194,4 @@ func weightDraw(seed, i uint64) (float64, uint) {
 	x *= 0x94D049BB133111EB
 	x ^= x >> 31
 	return float64(x>>11) / (1 << 53), uint(x & 63)
-}
-
-// scoreGenome re-evaluates one genome on the runner's workload using
-// the runner's deterministic episode seeds. The runner's population is
-// swapped in place and restored, so this is only safe after the
-// evolution phase has finished.
-func scoreGenome(r *evolve.Runner, g *gene.Genome) (float64, error) {
-	saved := r.Pop.Genomes
-	defer func() { r.Pop.Genomes = saved }()
-	probe := g.Clone()
-	r.Pop.Genomes = []*gene.Genome{probe}
-	if _, _, _, err := r.EvaluateGeneration(context.Background()); err != nil {
-		return 0, err
-	}
-	return probe.Fitness, nil
 }

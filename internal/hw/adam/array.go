@@ -90,13 +90,6 @@ func (a *Array) runTile(w [][]float64, x, y []float64, r0, r1, c0, c1 int) int {
 	return a.cols + a.rows
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // Executor runs full-network inference through the array: the CPU
 // vectorize thread gathers ready node values per stage, the array does
 // the packed multiply, and the per-vertex epilogue applies response,

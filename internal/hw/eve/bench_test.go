@@ -1,0 +1,57 @@
+package eve
+
+import (
+	"testing"
+
+	"repro/internal/hw/noc"
+	"repro/internal/neat"
+	"repro/internal/trace"
+)
+
+// synthGeneration builds a deterministic reproduction generation shaped
+// like a mid-run RAM workload: genome sizes spread around meanGenes,
+// crossover children concentrated on a small set of fit parents (the
+// genome-level-reuse pattern the multicast tree exploits), and a tail
+// of mutation-only children. No randomness and no clock — the same
+// arguments always produce the same generation, so the benchmark's work
+// is pinned.
+func synthGeneration(pop, meanGenes int) *trace.Generation {
+	g := &trace.Generation{Index: 1, ParentSizes: map[int64]int{}}
+	for i := 0; i < pop; i++ {
+		sz := meanGenes/2 + (i*37)%meanGenes
+		g.ParentSizes[int64(i)] = sz
+		g.PopulationGenes += sz
+	}
+	for c := 0; c < pop; c++ {
+		cr := trace.ChildRecord{
+			Child:   int64(pop + c),
+			Parent1: int64(c % (pop/4 + 1)), // heavy reuse of the fittest quarter
+			Parent2: int64((c * 13) % pop),
+		}
+		if c%5 == 0 {
+			cr.Parent2 = -1 // mutation-only child
+		}
+		cr.Ops[neat.OpCrossover] = int64(g.ParentSizes[cr.Parent1])
+		cr.Ops[neat.OpPerturb] = int64(c % 7)
+		cr.Ops[neat.OpAddConn] = int64(c % 3)
+		if c%11 == 0 {
+			cr.Ops[neat.OpAddNode] = 1
+		}
+		g.Children = append(g.Children, cr)
+	}
+	return g
+}
+
+// BenchmarkEvEReplay measures one EvE engine replay of a reproduction
+// generation — the inner unit of the Fig. 11b/11c design-point sweeps,
+// which the experiment harness runs concurrently on private engines
+// over one shared trace.
+func BenchmarkEvEReplay(b *testing.B) {
+	g := synthGeneration(96, 3000)
+	eng := New(DefaultConfig(256, noc.MulticastTree), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RunGeneration(g)
+	}
+}

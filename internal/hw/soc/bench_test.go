@@ -1,0 +1,23 @@
+package soc
+
+import (
+	"testing"
+
+	"repro/internal/hw/energy"
+)
+
+// BenchmarkSoCRunGeneration measures one full-chip generation replay —
+// the unit the experiment harness fans out per design point: ADAM
+// inference jobs plus the EvE reproduction trace of a real evolved RAM
+// generation, charged into a fresh chip's counter tree. The evolution
+// happens once outside the timed loop; the benchmark isolates the
+// replay layer the parallel pipeline schedules.
+func BenchmarkSoCRunGeneration(b *testing.B) {
+	jobs, gen, footprint := evolveWorkload(b, "asterix-ram", 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(energy.DefaultSoC())
+		s.RunGeneration(jobs, gen, footprint)
+	}
+}

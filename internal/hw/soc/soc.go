@@ -134,13 +134,6 @@ func (r GenerationReport) DataMovementFraction() float64 {
 	return float64(r.ScratchpadToADAMCycles+r.ADAMToScratchpadCycles) / float64(total)
 }
 
-func maxInt64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // RunGeneration accounts one generation: the population's inference
 // jobs and its reproduction trace.
 func (s *SoC) RunGeneration(jobs []adam.Job, g *trace.Generation, footprintBytes int) GenerationReport {
@@ -173,7 +166,7 @@ func (s *SoC) RunGeneration(jobs []adam.Job, g *trace.Generation, footprintBytes
 	// not the sum.
 	inferCycles := r.Inference.TotalCycles +
 		r.ScratchpadToADAMCycles + r.ADAMToScratchpadCycles
-	r.OverlappedCycles = r.Evolution.SelectorCycles + maxInt64(inferCycles,
+	r.OverlappedCycles = r.Evolution.SelectorCycles + max(inferCycles,
 		r.Evolution.TotalCycles-r.Evolution.SelectorCycles)
 	r.TotalSeconds = s.Cfg.CyclesToSeconds(r.TotalCycles)
 	r.TotalEnergyPJ = r.Inference.TotalEnergyPJ() + r.Evolution.TotalEnergyPJ()

@@ -15,7 +15,7 @@ import (
 // evolveWorkload runs a short real evolution and returns the SoC inputs
 // for its last generation: inference jobs, the reproduction trace and
 // the footprint.
-func evolveWorkload(t *testing.T, workload string, pop int) ([]adam.Job, *trace.Generation, int) {
+func evolveWorkload(t testing.TB, workload string, pop int) ([]adam.Job, *trace.Generation, int) {
 	t.Helper()
 	cfg := neat.DefaultConfig(1, 1)
 	cfg.PopulationSize = pop

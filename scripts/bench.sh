@@ -2,12 +2,14 @@
 # bench.sh — the repository's perf-trajectory harness.
 #
 # Runs the compiled-kernel microbenches (compile, feed, full-generation
-# evaluation) and, unless BENCH_QUICK=1, the root figure-regeneration
-# benches, then renders everything into a machine-readable trajectory
-# record via cmd/benchjson:
+# evaluation), the replay-layer benches (one SoC generation, one EvE
+# trace replay), and, unless BENCH_QUICK=1, the full-suite harness
+# bench plus the root figure-regeneration benches, then renders
+# everything into a machine-readable trajectory record via
+# cmd/benchjson:
 #
-#	scripts/bench.sh                 # full run, writes BENCH_PR3.json
-#	BENCH_QUICK=1 scripts/bench.sh   # kernel microbenches only
+#	scripts/bench.sh                 # full run, writes BENCH_PR4.json
+#	BENCH_QUICK=1 scripts/bench.sh   # kernel + replay microbenches only
 #
 # The JSON carries ns/op, B/op, allocs/op and custom figure metrics for
 # every benchmark, the pinned pre-PR baselines, and headline speedup
@@ -16,7 +18,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_PR3.json}
+out=${BENCH_OUT:-BENCH_PR4.json}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
@@ -26,7 +28,16 @@ go test -run=NONE -bench='BenchmarkNetworkCompile|BenchmarkNetworkFeed' \
 go test -run=NONE -bench='BenchmarkEvaluateGeneration' \
     -benchmem -count=5 -benchtime=3s ./internal/evolve/ | tee -a "$tmp"
 
+echo "== replay benches"
+go test -run=NONE -bench='BenchmarkSoCRunGeneration' \
+    -benchmem -count=3 -benchtime=1s ./internal/hw/soc/ | tee -a "$tmp"
+go test -run=NONE -bench='BenchmarkEvEReplay' \
+    -benchmem -count=3 -benchtime=1s ./internal/hw/eve/ | tee -a "$tmp"
+
 if [ "${BENCH_QUICK:-0}" != "1" ]; then
+    echo "== experiment-suite bench (full harness, cold cache per iteration)"
+    go test -run=NONE -bench='BenchmarkExperimentSuite$' \
+        -benchtime=1x -count=2 -timeout=60m ./internal/experiments/ | tee -a "$tmp"
     echo "== figure benches (also regenerates results/)"
     go test -run=NONE -bench=. -benchmem -benchtime=1x -timeout=60m . | tee -a "$tmp"
 fi

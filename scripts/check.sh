@@ -5,10 +5,12 @@
 # build, the full test suite, the race detector over the packages that
 # exercise concurrency (the evolve evaluation pool and study runner, the
 # compiled-network kernel and its reuse cache, the hardware counter
-# registry, fault injector included), a one-iteration smoke over the
-# kernel trajectory benchmarks (so a change that breaks the bench
-# harness fails here, not in scripts/bench.sh), and a short fuzz smoke
-# over the two untrusted-input decoders (trace parser, NEAT checkpoint).
+# registry, fault injector included, and the experiment harness's
+# singleflight run cache + parallel scheduler), a one-iteration smoke
+# over the kernel and replay trajectory benchmarks (so a change that
+# breaks the bench harness fails here, not in scripts/bench.sh), and a
+# short fuzz smoke over the two untrusted-input decoders (trace parser,
+# NEAT checkpoint).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -30,14 +32,19 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (evolve, network, hw)"
-go test -race ./internal/evolve/... ./internal/network/... ./internal/hw/...
+echo "== go test -race (evolve, network, hw, experiments)"
+go test -race ./internal/evolve/... ./internal/network/... ./internal/hw/... \
+    ./internal/experiments/...
 
-echo "== bench smoke (kernel trajectory benches, 1 iteration)"
+echo "== bench smoke (kernel + replay trajectory benches, 1 iteration)"
 go test -run=NONE -bench='BenchmarkNetworkCompile|BenchmarkNetworkFeed' \
     -benchtime=1x ./internal/network/
 go test -run=NONE -bench='BenchmarkEvaluateGeneration' \
     -benchtime=1x ./internal/evolve/
+go test -run=NONE -bench='BenchmarkSoCRunGeneration' \
+    -benchtime=1x ./internal/hw/soc/
+go test -run=NONE -bench='BenchmarkEvEReplay' \
+    -benchtime=1x ./internal/hw/eve/
 
 echo "== fuzz smoke (trace, neat checkpoint)"
 # -fuzzminimizetime is bounded in execs: the default 60s-per-input
