@@ -10,11 +10,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/serve/signalctx"
 )
 
 // Result is one benchmark's aggregated measurement.
@@ -62,21 +65,39 @@ type Document struct {
 // were measured with the PR4 benchmark bodies at the pre-change model
 // code; their headline ratios are expected to hover near 1 and exist
 // to catch replay-layer regressions in future PRs.
+// PR5 serve bench (at cb021f3): the daemon did not exist pre-change,
+// so the pinned number is the serial (j=1) end-to-end cost of the same
+// jobs — the evolution kernel dominating per-job cost is unchanged by
+// PR5, making serial throughput at HEAD the honest pre-change floor.
+// Its ns headline is a regression tripwire for serving-layer overhead;
+// the parallel story is the separate ServeThroughput_parallel_speedup
+// headline computed within one document.
 var baselines = map[string]Baseline{
-	"BenchmarkNetworkCompile":     {Commit: "a523566", NsPerOp: 10884, BPerOp: 8888, Allocs: 101},
-	"BenchmarkNetworkFeed":        {Commit: "a523566", NsPerOp: 450.9, BPerOp: 280, Allocs: 6},
-	"BenchmarkEvaluateGeneration": {Commit: "a523566", NsPerOp: 1465537, BPerOp: 585224, Allocs: 29172},
-	"BenchmarkExperimentSuite":    {Commit: "14eb020", NsPerOp: 27692578274},
-	"BenchmarkSoCRunGeneration":   {Commit: "14eb020", NsPerOp: 17511, BPerOp: 10424, Allocs: 154},
-	"BenchmarkEvEReplay":          {Commit: "14eb020", NsPerOp: 58341, BPerOp: 25648, Allocs: 214},
+	"BenchmarkNetworkCompile":      {Commit: "a523566", NsPerOp: 10884, BPerOp: 8888, Allocs: 101},
+	"BenchmarkNetworkFeed":         {Commit: "a523566", NsPerOp: 450.9, BPerOp: 280, Allocs: 6},
+	"BenchmarkEvaluateGeneration":  {Commit: "a523566", NsPerOp: 1465537, BPerOp: 585224, Allocs: 29172},
+	"BenchmarkExperimentSuite":     {Commit: "14eb020", NsPerOp: 27692578274},
+	"BenchmarkSoCRunGeneration":    {Commit: "14eb020", NsPerOp: 17511, BPerOp: 10424, Allocs: 154},
+	"BenchmarkEvEReplay":           {Commit: "14eb020", NsPerOp: 58341, BPerOp: 25648, Allocs: 214},
+	"BenchmarkServeThroughput/j=1": {Commit: "cb021f3", NsPerOp: 1183991, BPerOp: 1187224, Allocs: 1454},
 }
 
 func main() {
+	// Ctrl-C or SIGTERM stops reading stdin early and renders the
+	// document from the benchmarks parsed so far, so an interrupted
+	// bench.sh pipeline still leaves a valid (partial) record.
+	ctx, stop := signalctx.Notify(context.Background())
+	defer stop()
+
 	byName := map[string]*Result{}
 	var order []string
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: interrupted; rendering partial document")
+			break
+		}
 		line := sc.Text()
 		if !strings.HasPrefix(line, "Benchmark") {
 			continue
@@ -162,6 +183,29 @@ func main() {
 			// Zero allocations now: report the baseline count as the
 			// ratio floor marker.
 			doc.Headlines[key+"_allocs_ratio"] = base.Allocs
+		}
+	}
+
+	// The serve scaling headline is computed within this document:
+	// serial (j=1) vs the widest worker pool measured. > 1 means the
+	// pool parallelized job throughput; on a single-core machine it
+	// honestly reports the contention cost instead.
+	if serial, ok := byName["BenchmarkServeThroughput/j=1"]; ok && serial.NsPerOp > 0 {
+		widestJ := 1
+		var widest *Result
+		for name, r := range byName {
+			rest, found := strings.CutPrefix(name, "BenchmarkServeThroughput/j=")
+			if !found {
+				continue
+			}
+			j, err := strconv.Atoi(rest)
+			if err != nil || j <= widestJ {
+				continue
+			}
+			widestJ, widest = j, r
+		}
+		if widest != nil && widest.NsPerOp > 0 {
+			doc.Headlines["ServeThroughput_parallel_speedup"] = round2(serial.NsPerOp / widest.NsPerOp)
 		}
 	}
 

@@ -16,14 +16,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
 	"repro/internal/evolve"
 	"repro/internal/experiments"
 	"repro/internal/hw/hwsim"
 	"repro/internal/neat"
+	"repro/internal/serve/signalctx"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -57,9 +56,10 @@ func main() {
 	)
 	flag.Parse()
 
-	// Ctrl-C cancels the study at the next generation boundary; the
-	// partial results, records and checkpoints below still flush.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// Ctrl-C or SIGTERM cancels the study at the next generation
+	// boundary; the partial results, records and checkpoints below
+	// still flush.
+	ctx, stop := signalctx.Notify(context.Background())
 	defer stop()
 
 	cfg := neat.DefaultConfig(1, 1)

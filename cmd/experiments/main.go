@@ -22,12 +22,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"runtime"
 	"strings"
-	"syscall"
 
 	"repro/internal/experiments"
+	"repro/internal/serve/signalctx"
 )
 
 func main() {
@@ -61,9 +60,9 @@ func main() {
 		}
 	}
 
-	// Ctrl-C cancels the in-flight experiments; completed experiments
-	// have already been rendered.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// Ctrl-C or SIGTERM cancels the in-flight experiments; completed
+	// experiments have already been rendered.
+	ctx, stop := signalctx.Notify(context.Background())
 	defer stop()
 
 	opt := experiments.Options{

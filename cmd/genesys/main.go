@@ -13,12 +13,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/evolve"
+	"repro/internal/serve/signalctx"
 )
 
 func main() {
@@ -34,9 +33,10 @@ func main() {
 	)
 	flag.Parse()
 
-	// Ctrl-C stops the loop at the next generation boundary; the
-	// summary (and -save genome) below still run on the partial state.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// Ctrl-C or a container stop (SIGTERM) stops the loop at the next
+	// generation boundary; the summary (and -save genome) below still
+	// run on the partial state.
+	ctx, stop := signalctx.Notify(context.Background())
 	defer stop()
 
 	if *functional {

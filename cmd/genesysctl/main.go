@@ -1,0 +1,203 @@
+// Command genesysctl is the genesysd client: submit evolution jobs,
+// follow their per-generation record streams, cancel them, and drive
+// load-generation sweeps against a daemon.
+//
+// Usage:
+//
+//	genesysctl -addr http://127.0.0.1:8177 submit -workload cartpole -generations 30 -watch
+//	genesysctl watch job-0001
+//	genesysctl cancel job-0001
+//	genesysctl checkpoint job-0001
+//	genesysctl list
+//	genesysctl metrics
+//	genesysctl load -jobs 16 -concurrency 8 -workload cartpole -generations 5
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/hw/hwsim"
+	"repro/internal/serve"
+	"repro/internal/serve/signalctx"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: genesysctl [-addr URL] <command> [args]
+
+commands:
+  submit      -workload W -pop N -generations N -seed N [-watch]
+  watch       <job-id>
+  cancel      <job-id>
+  checkpoint  <job-id>
+  status      <job-id>
+  list
+  metrics
+  load        -jobs N [-concurrency N] [-same-seed] [-no-watch] -workload W ...
+`)
+	os.Exit(2)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "genesysctl:", err)
+	os.Exit(1)
+}
+
+func printJSON(v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		die(err)
+	}
+	fmt.Println(string(data))
+}
+
+// watchJob follows one job's SSE stream, printing a line per
+// generation and the terminal status.
+func watchJob(ctx context.Context, c *serve.Client, id string) {
+	final, err := c.Watch(ctx, id, func(r hwsim.Record) error {
+		fmt.Printf("%s gen %3d  max %8.2f  mean %8.2f  genes %6d\n",
+			id, r.Generation,
+			r.Report.Float("max_fitness"), r.Report.Float("mean_fitness"),
+			r.Report.Int("total_genes"))
+		return nil
+	})
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("%s: %s solved=%v generations=%d best=%.2f\n",
+		final.ID, final.State, final.Solved, final.Generations, final.BestFitness)
+	if final.State == serve.StateFailed {
+		os.Exit(1)
+	}
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8177", "genesysd base URL")
+	client := flag.String("client", "genesysctl", "client identity for the per-client cap")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	c := &serve.Client{Base: *addr, Name: *client}
+
+	// Ctrl-C / SIGTERM abort in-flight requests and watches.
+	ctx, stop := signalctx.Notify(context.Background())
+	defer stop()
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "submit":
+		fs := flag.NewFlagSet("submit", flag.ExitOnError)
+		workload := fs.String("workload", "cartpole", "task to evolve")
+		pop := fs.Int("pop", 64, "population size")
+		gens := fs.Int("generations", 30, "generation budget")
+		seed := fs.Uint64("seed", 42, "run seed")
+		watch := fs.Bool("watch", false, "follow the job's record stream to completion")
+		fs.Parse(args)
+		st, err := c.Submit(ctx, serve.Spec{
+			Workload: *workload, Population: *pop, Generations: *gens, Seed: *seed,
+		})
+		if err != nil {
+			die(err)
+		}
+		if *watch {
+			fmt.Printf("submitted %s (%s)\n", st.ID, st.State)
+			watchJob(ctx, c, st.ID)
+			return
+		}
+		printJSON(st)
+
+	case "watch":
+		if len(args) != 1 {
+			usage()
+		}
+		watchJob(ctx, c, args[0])
+
+	case "cancel":
+		if len(args) != 1 {
+			usage()
+		}
+		st, err := c.Cancel(ctx, args[0])
+		if err != nil {
+			die(err)
+		}
+		printJSON(st)
+
+	case "checkpoint":
+		if len(args) != 1 {
+			usage()
+		}
+		st, err := c.Checkpoint(ctx, args[0])
+		if err != nil {
+			die(err)
+		}
+		printJSON(st)
+
+	case "status":
+		if len(args) != 1 {
+			usage()
+		}
+		st, err := c.Job(ctx, args[0])
+		if err != nil {
+			die(err)
+		}
+		printJSON(st)
+
+	case "list":
+		jobs, err := c.List(ctx)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("%-10s %-12s %-14s %-5s %-5s %s\n", "id", "workload", "state", "gens", "best", "error")
+		for _, j := range jobs {
+			fmt.Printf("%-10s %-12s %-14s %-5d %-5.1f %s\n",
+				j.ID, j.Spec.Workload, j.State, j.Generations, j.BestFitness, j.Error)
+		}
+
+	case "metrics":
+		rep, err := c.Metrics(ctx)
+		if err != nil {
+			die(err)
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(string(data))
+
+	case "load":
+		fs := flag.NewFlagSet("load", flag.ExitOnError)
+		workload := fs.String("workload", "cartpole", "task to evolve")
+		pop := fs.Int("pop", 32, "population size")
+		gens := fs.Int("generations", 5, "generation budget")
+		seed := fs.Uint64("seed", 42, "base seed")
+		jobs := fs.Int("jobs", 8, "submissions")
+		conc := fs.Int("concurrency", 0, "in-flight submissions (0 = all at once)")
+		sameSeed := fs.Bool("same-seed", false, "submit identical specs (exercises the shared run cache)")
+		noWatch := fs.Bool("no-watch", false, "fire-and-forget: do not follow admitted jobs")
+		fs.Parse(args)
+		rep, err := c.Load(ctx, serve.LoadSpec{
+			Template: serve.Spec{
+				Workload: *workload, Population: *pop, Generations: *gens, Seed: *seed,
+			},
+			Jobs:          *jobs,
+			Concurrency:   *conc,
+			DistinctSeeds: !*sameSeed,
+			Watch:         !*noWatch,
+		})
+		if err != nil {
+			die(err)
+		}
+		printJSON(rep)
+
+	default:
+		fmt.Fprintf(os.Stderr, "genesysctl: unknown command %q (have %s)\n",
+			cmd, strings.Join([]string{"submit", "watch", "cancel", "checkpoint", "status", "list", "metrics", "load"}, ", "))
+		os.Exit(2)
+	}
+}

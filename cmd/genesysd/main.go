@@ -1,0 +1,95 @@
+// Command genesysd is the evolution-as-a-service daemon: it accepts
+// evolution jobs over a JSON HTTP API, runs them on a bounded
+// scheduler backed by the shared run cache (identical submissions
+// execute one evolution), streams per-generation records to clients
+// as Server-Sent Events, sheds load with 429 + Retry-After instead of
+// degrading admitted jobs, and drains gracefully on SIGTERM/SIGINT —
+// new work is refused, running jobs get a grace period to finish,
+// stragglers are cancelled at a generation boundary with a checkpoint
+// so a resubmission resumes where they stopped.
+//
+// Usage:
+//
+//	genesysd -addr 127.0.0.1:8177 -max-running 4 -queue 16
+//	genesysd -addr 127.0.0.1:0 -addr-file /tmp/genesysd.addr -checkpoint-dir /tmp/ckpt
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/signalctx"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8177", "listen address (port 0 picks an ephemeral port)")
+		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
+		maxRunning = flag.Int("max-running", runtime.NumCPU(), "jobs executing concurrently (worker pool size)")
+		queue      = flag.Int("queue", 16, "queued-job cap; submissions beyond it are shed with 429")
+		perClient  = flag.Int("per-client", 0, "per-client queued+running cap (0 = unlimited)")
+		evalPar    = flag.Int("eval-parallelism", 1, "per-job evaluation worker pool width")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for job checkpoints; interrupted jobs resume on resubmission")
+		ckptEvery  = flag.Int("checkpoint-every", 5, "periodic checkpoint interval in generations (with -checkpoint-dir)")
+		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long running jobs may finish after SIGTERM before being checkpointed and cancelled")
+	)
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genesysd:", err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "genesysd:", err)
+			os.Exit(1)
+		}
+	}
+
+	sched := serve.NewScheduler(serve.Config{
+		MaxRunning:        *maxRunning,
+		MaxQueue:          *queue,
+		MaxPerClient:      *perClient,
+		RunnerParallelism: *evalPar,
+		CheckpointDir:     *ckptDir,
+		CheckpointEvery:   *ckptEvery,
+	})
+	srv := &http.Server{Handler: serve.NewServer(sched)}
+
+	// SIGTERM (container stop) and SIGINT share one drain path: stop
+	// admitting, let running jobs finish or checkpoint, then exit.
+	ctx, stop := signalctx.Notify(context.Background())
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Printf("genesysd: listening on %s (workers %d, queue %d)\n", bound, *maxRunning, *queue)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "genesysd:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(os.Stderr, "genesysd: draining (grace %s)\n", *drainGrace)
+	sched.Drain(*drainGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		srv.Close()
+	}
+	fmt.Fprintln(os.Stderr, "genesysd: drained, exiting")
+}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/hw/eve"
 	"repro/internal/hw/hwsim"
 	"repro/internal/hw/noc"
+	"repro/internal/serve/signalctx"
 	"repro/internal/trace"
 )
 
@@ -36,6 +38,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// Ctrl-C or SIGTERM stops the replay at the next generation
+	// boundary; totals and -json output still flush for the partial
+	// replay.
+	ctx, stop := signalctx.Notify(context.Background())
+	defer stop()
 
 	f, err := os.Open(*tracePath)
 	if err != nil {
@@ -78,6 +86,10 @@ func main() {
 	var totEnergy float64
 	var records []hwsim.Record
 	for i := range tr.Generations {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "socreplay: interrupted; flushing partial replay")
+			break
+		}
 		g := &tr.Generations[i]
 		// Reset per generation so each snapshot is that generation's own
 		// counter ledger, not a running total.

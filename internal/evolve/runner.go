@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/env"
 	"repro/internal/gene"
@@ -115,6 +116,9 @@ type Runner struct {
 	opCounts neat.OpCounts
 	seed     uint64
 	extraRec neat.Recorder
+	// ckptReq is the cross-goroutine checkpoint request flag; see
+	// RequestCheckpoint.
+	ckptReq atomic.Bool
 
 	// workers is the persistent population-level-parallelism pool: one
 	// slot per evaluation worker, each owning an environment instance, a
@@ -502,6 +506,17 @@ func (r *Runner) Step(ctx context.Context) (GenStats, error) {
 	return st, nil
 }
 
+// RequestCheckpoint asks a Run in progress to persist the population
+// at the next generation boundary. It is the only checkpoint entry
+// point that is safe to call from another goroutine while Run is
+// executing: the save itself still happens on the Run goroutine,
+// between Step calls, where the population is quiescent — so the
+// written checkpoint is always a consistent boundary snapshot and the
+// call is race-free by construction. A no-op when CheckpointPath is
+// unset. This is what lets a serving layer checkpoint a live job on
+// demand without stopping it.
+func (r *Runner) RequestCheckpoint() { r.ckptReq.Store(true) }
+
 // Run executes steps until the population reaches maxGenerations,
 // stopping early when the target fitness is reached or ctx is
 // cancelled. The loop is bounded by the population's own generation
@@ -537,8 +552,9 @@ func (r *Runner) Run(ctx context.Context, maxGenerations int) (bool, error) {
 		if st.Solved {
 			return true, nil
 		}
-		if r.CheckpointPath != "" && r.CheckpointEvery > 0 &&
-			r.Pop.Generation%r.CheckpointEvery == 0 {
+		periodic := r.CheckpointEvery > 0 && r.Pop.Generation%r.CheckpointEvery == 0
+		requested := r.ckptReq.Swap(false)
+		if r.CheckpointPath != "" && (periodic || requested) {
 			if err := r.SaveCheckpoint(r.CheckpointPath); err != nil {
 				return false, fmt.Errorf("checkpoint: %w", err)
 			}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"context"
+	"os"
+
+	"repro/internal/evolve"
+	"repro/internal/hw/hwsim"
+	"repro/internal/neat"
+	"repro/internal/trace"
+)
+
+// This file is the exported face of the run cache: the serving layer
+// (internal/serve) submits evolution jobs through the exact same
+// singleflight store the figure generators use, so a daemon job, a
+// figure regeneration, and a duplicate client submission of the same
+// (workload, population, generations, seed) all resolve to one
+// executed evolution per process. Cached entries are uniform — every
+// compute attaches a trace recorder — so an entry evolved for a
+// daemon job can later feed a hardware-replay figure and vice versa.
+
+// SharedRequest describes one evolution to run (or fetch) through the
+// shared run cache. The tuple (Workload, Population, Generations,
+// Seed) is the cache key; everything else shapes how a cache miss
+// executes and does not affect identity.
+type SharedRequest struct {
+	Workload    string
+	Population  int
+	Generations int
+	Seed        uint64
+
+	// Ctx cancels a cache-miss evolution; nil means Background. A
+	// cancelled compute is evicted from the cache (concurrent waiters
+	// share the cancellation error; a later identical request
+	// recomputes — and resumes from CheckpointPath if one was written).
+	Ctx context.Context
+	// Sink, when set, receives this run's per-generation records live
+	// while it evolves. Only the computing request streams; a request
+	// served from cache (Computed=false) gets no live records and
+	// should replay SharedRun.Runner.History instead.
+	Sink hwsim.Sink
+	// Parallelism caps the runner's evaluation worker pool (0 =
+	// GOMAXPROCS); a scheduler running many jobs passes 1 so its own
+	// worker slots are the only parallelism.
+	Parallelism int
+	// CheckpointPath + CheckpointEvery enable the PR 2 checkpoint
+	// machinery on a cache miss: the run persists at generation
+	// boundaries, resumes from an existing file at that path, and the
+	// file is removed after an uninterrupted completion (a stale
+	// checkpoint never shadows a fresh run of a different key because
+	// the path should encode the key).
+	CheckpointPath  string
+	CheckpointEvery int
+	// OnRunner, when set, is called with the live runner just before a
+	// cache-miss run starts — the hook a serving layer uses to wire
+	// per-job control (Runner.RequestCheckpoint). The runner is owned
+	// by the computing goroutine; callers must only use the
+	// goroutine-safe Runner surface.
+	OnRunner func(*evolve.Runner)
+}
+
+// SharedRun is the outcome of a shared-cache request.
+type SharedRun struct {
+	// Runner holds the finished run: History, Pop, workload. Shared
+	// and immutable by contract — re-scoring goes through the
+	// non-mutating Runner.ScoreGenome.
+	Runner *evolve.Runner
+	// Trace is the reproduction trace recorded during the run.
+	Trace *trace.Trace
+	// Solved reports whether the run reached the workload target.
+	Solved bool
+	// Resumed reports whether the compute restored a checkpoint (its
+	// History then covers only the post-restore generations).
+	Resumed bool
+	// Computed is true only for the request whose compute executed the
+	// evolution; concurrent and later requests of the same key see
+	// false and share the first request's artifacts.
+	Computed bool
+}
+
+// RunShared resolves one evolution through the package's singleflight
+// run cache: the first request of a key executes it (honoring Sink,
+// checkpointing, and cancellation), concurrent requests block on that
+// execution, later requests return the memoized run immediately.
+func RunShared(req SharedRequest) (*SharedRun, error) {
+	opt := Options{
+		Seed:           req.Seed,
+		MaxGenerations: req.Generations,
+		Population:     req.Population,
+		// Mirror the sizes into the RAM knobs so the cache key is the
+		// literal request tuple for RAM workloads too.
+		RAMPopulation:  req.Population,
+		RAMGenerations: req.Generations,
+	}
+	out := &SharedRun{}
+	e, err := runCache.get(runKeyFor(req.Workload, opt, 0), func() (*evolved, error) {
+		out.Computed = true
+		return evolveSharedLocked(req, out)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Runner, out.Trace, out.Solved = e.runner, e.trace, e.solved
+	return out, nil
+}
+
+// EvolutionsExecuted reports how many evolution computations (single
+// runs plus studies) have executed since the last cache reset — the
+// execution counter admission tests and the daemon's metrics use to
+// prove deduplication.
+func EvolutionsExecuted() int64 { return evolutionsExecuted() }
+
+// evolveSharedLocked is the cache-miss body of RunShared. It runs on
+// the requesting goroutine under the key's singleflight slot.
+func evolveSharedLocked(req SharedRequest, out *SharedRun) (*evolved, error) {
+	ctx := req.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := neat.DefaultConfig(1, 1)
+	cfg.PopulationSize = req.Population
+	r, err := evolve.NewRunner(req.Workload, cfg, req.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r.Parallelism = req.Parallelism
+	r.Sink = req.Sink
+	tr := &trace.Trace{}
+	r.SetRecorder(tr)
+	if req.CheckpointPath != "" {
+		r.CheckpointPath = req.CheckpointPath
+		r.CheckpointEvery = req.CheckpointEvery
+		if _, serr := os.Stat(req.CheckpointPath); serr == nil {
+			if rerr := r.RestoreCheckpoint(req.CheckpointPath); rerr != nil {
+				return nil, rerr
+			}
+			out.Resumed = true
+		}
+	}
+	if req.OnRunner != nil {
+		req.OnRunner(r)
+	}
+	solved, err := r.Run(ctx, req.Generations)
+	if err != nil {
+		return nil, err
+	}
+	// A completed run's checkpoint has served its purpose; removing it
+	// keeps a later run that reuses the path (same key after a cache
+	// reset) from "resuming" a finished population.
+	if req.CheckpointPath != "" {
+		os.Remove(req.CheckpointPath)
+	}
+	return &evolved{runner: r, trace: tr, solved: solved}, nil
+}

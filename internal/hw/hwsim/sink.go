@@ -38,6 +38,37 @@ func (t Tagged) Record(r Record) {
 	t.Sink.Record(r)
 }
 
+// SinkFunc adapts a function to the Sink interface — the glue that
+// lets a serving layer (or a test) tap a record stream without
+// defining a type. The function must be safe for concurrent calls if
+// the producer records from multiple goroutines.
+type SinkFunc func(Record)
+
+// Record invokes the function.
+func (f SinkFunc) Record(r Record) { f(r) }
+
+// MultiSink fans one record stream out to several sinks in order —
+// how a daemon feeds a job's live subscribers and its persistent log
+// from the single Sink slot a Runner exposes. Nil sinks are skipped.
+func MultiSink(sinks ...Sink) Sink {
+	out := make(multiSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+type multiSink []Sink
+
+// Record forwards to every sink.
+func (m multiSink) Record(r Record) {
+	for _, s := range m {
+		s.Record(r)
+	}
+}
+
 // Log is an in-memory Sink. It is safe for concurrent recording.
 type Log struct {
 	mu   sync.Mutex

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// benchSeed hands every benchmark job a seed no other job (or test in
+// this package) has used, so the process-global run cache never turns
+// a measured evolution into a replay across -count repetitions.
+var benchSeed atomic.Uint64
+
+func init() { benchSeed.Store(1 << 40) }
+
+// BenchmarkServeThroughput measures end-to-end daemon throughput in
+// jobs/sec: real HTTP over loopback, SSE watch to completion, tiny
+// fixed-cost CartPole evolutions. The j=1 case is the serial floor —
+// one worker, jobs back to back — and j=N shows scheduler scaling
+// across NumCPU workers. scripts/bench.sh feeds both into
+// BENCH_PR5.json, where their ratio is the parallel-speedup headline.
+func BenchmarkServeThroughput(b *testing.B) {
+	// Floor the parallel case at 2 so single-core machines still
+	// exercise the multi-worker path (there it measures pipelining of
+	// HTTP/SSE overhead against compute rather than core scaling).
+	parallel := runtime.NumCPU()
+	if parallel < 2 {
+		parallel = 2
+	}
+	for _, workers := range []int{1, parallel} {
+		b.Run(fmt.Sprintf("j=%d", workers), func(b *testing.B) {
+			sched := NewScheduler(Config{
+				MaxRunning: workers,
+				MaxQueue:   b.N + 16, // admission is not under test here
+			})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := &http.Server{Handler: NewServer(sched)}
+			go srv.Serve(ln)
+			c := &Client{Base: "http://" + ln.Addr().String(), Name: "bench"}
+			base := benchSeed.Add(uint64(b.N)) - uint64(b.N)
+
+			b.ResetTimer()
+			rep, err := c.Load(context.Background(), LoadSpec{
+				Template:      Spec{Workload: "cartpole", Population: 16, Generations: 2, Seed: base},
+				Jobs:          b.N,
+				Concurrency:   workers * 4,
+				DistinctSeeds: true,
+				Watch:         true,
+			})
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Completed != b.N {
+				b.Fatalf("completed %d of %d jobs: %+v", rep.Completed, b.N, rep)
+			}
+			b.ReportMetric(rep.JobsPerSec, "jobs/sec")
+
+			sched.Drain(time.Minute)
+			srv.Close()
+		})
+	}
+}

@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hw/hwsim"
+)
+
+// Client talks to a genesysd instance: the programmatic form of
+// genesysctl, and the load generator the integration tests drive a
+// real server with.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8177".
+	Base string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+	// Name, when set, is sent as X-Genesys-Client on every request.
+	Name string
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body any) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(c.Base, "/")+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Name != "" {
+		req.Header.Set("X-Genesys-Client", c.Name)
+	}
+	return c.http().Do(req)
+}
+
+// apiError decodes a non-2xx response into an error. 429 responses
+// come back as *ShedError carrying the Retry-After hint, so callers
+// can distinguish shed load from failure.
+func apiError(resp *http.Response) error {
+	var body errorBody
+	json.NewDecoder(resp.Body).Decode(&body)
+	msg := body.Error
+	if msg == "" {
+		msg = resp.Status
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		after := body.RetryAfter
+		if after == 0 {
+			after, _ = strconv.Atoi(resp.Header.Get("Retry-After"))
+		}
+		return &ShedError{Reason: msg, RetryAfter: after}
+	}
+	return fmt.Errorf("%s: %s", resp.Status, msg)
+}
+
+func (c *Client) statusCall(ctx context.Context, method, path string, body any, want int) (Status, error) {
+	resp, err := c.do(ctx, method, path, body)
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		return Status{}, apiError(resp)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Status{}, err
+	}
+	return st, nil
+}
+
+// Submit posts one job. A shed submission returns *ShedError.
+func (c *Client) Submit(ctx context.Context, spec Spec) (Status, error) {
+	return c.statusCall(ctx, http.MethodPost, "/jobs", spec, http.StatusAccepted)
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (Status, error) {
+	return c.statusCall(ctx, http.MethodGet, "/jobs/"+id, nil, http.StatusOK)
+}
+
+// Cancel cancels one job.
+func (c *Client) Cancel(ctx context.Context, id string) (Status, error) {
+	return c.statusCall(ctx, http.MethodDelete, "/jobs/"+id, nil, http.StatusOK)
+}
+
+// Checkpoint asks a job to persist at its next generation boundary.
+func (c *Client) Checkpoint(ctx context.Context, id string) (Status, error) {
+	return c.statusCall(ctx, http.MethodPost, "/jobs/"+id+"/checkpoint", nil, http.StatusAccepted)
+}
+
+// List fetches every job in submission order.
+func (c *Client) List(ctx context.Context) ([]Status, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/jobs", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var out struct {
+		Jobs []Status `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// Metrics fetches the daemon's counter registry snapshot.
+func (c *Client) Metrics(ctx context.Context) (hwsim.Report, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return hwsim.Report{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return hwsim.Report{}, apiError(resp)
+	}
+	var rep hwsim.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return hwsim.Report{}, err
+	}
+	return rep, nil
+}
+
+// Watch subscribes to a job's SSE stream, invoking fn (which may be
+// nil) for every generation record — history replay included — and
+// returns the job's terminal status from the final done event. A
+// non-nil error from fn aborts the watch.
+func (c *Client) Watch(ctx context.Context, id string, fn func(hwsim.Record) error) (Status, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/jobs/"+id+"/events", nil)
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Status{}, apiError(resp)
+	}
+
+	var event string
+	var data bytes.Buffer
+	var final *Status
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+		case line == "":
+			// Dispatch boundary.
+			switch event {
+			case "generation":
+				if fn != nil {
+					var rec hwsim.Record
+					if err := json.Unmarshal(data.Bytes(), &rec); err != nil {
+						return Status{}, fmt.Errorf("bad generation event: %w", err)
+					}
+					if err := fn(rec); err != nil {
+						return Status{}, err
+					}
+				}
+			case "done":
+				var st Status
+				if err := json.Unmarshal(data.Bytes(), &st); err != nil {
+					return Status{}, fmt.Errorf("bad done event: %w", err)
+				}
+				final = &st
+			}
+			event = ""
+			data.Reset()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Status{}, err
+	}
+	if final == nil {
+		// Stream ended without a done event (daemon shutdown mid-
+		// watch); fall back to a status fetch.
+		return c.Job(ctx, id)
+	}
+	return *final, nil
+}
+
+// LoadSpec configures one load-generator sweep.
+type LoadSpec struct {
+	// Template is the job all submissions derive from.
+	Template Spec
+	// Jobs is the number of submissions.
+	Jobs int
+	// Concurrency caps in-flight submissions (0 means Jobs).
+	Concurrency int
+	// DistinctSeeds offsets each submission's seed by its index, so
+	// every job is a unique evolution; false submits identical specs,
+	// exercising the shared run cache.
+	DistinctSeeds bool
+	// Watch makes every admitted submission follow its SSE stream to
+	// completion (counting records); false fire-and-forgets.
+	Watch bool
+}
+
+// LoadReport aggregates one load-generator sweep.
+type LoadReport struct {
+	Submitted  int           `json:"submitted"`
+	Admitted   int           `json:"admitted"`
+	Shed       int           `json:"shed"`
+	Rejected   int           `json:"rejected"`
+	Completed  int           `json:"completed"`
+	Failed     int           `json:"failed"`
+	Cancelled  int           `json:"cancelled"`
+	Records    int           `json:"records"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	JobsPerSec float64       `json:"jobs_per_sec"`
+}
+
+// Load drives the load-generator sweep: Jobs submissions at the
+// configured concurrency, watching the admitted ones to completion
+// when asked. Shed (429) submissions are counted, not retried — the
+// point of the shedding policy is that the client learns immediately.
+func (c *Client) Load(ctx context.Context, spec LoadSpec) (LoadReport, error) {
+	if spec.Jobs <= 0 {
+		spec.Jobs = 1
+	}
+	conc := spec.Concurrency
+	if conc <= 0 || conc > spec.Jobs {
+		conc = spec.Jobs
+	}
+	var (
+		rep     LoadReport
+		mu      sync.Mutex
+		records atomic.Int64
+		wg      sync.WaitGroup
+		sem     = make(chan struct{}, conc)
+	)
+	start := time.Now()
+	for i := 0; i < spec.Jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			job := spec.Template
+			if spec.DistinctSeeds {
+				job.Seed = job.Seed + uint64(i)
+			}
+			st, err := c.Submit(ctx, job)
+			mu.Lock()
+			rep.Submitted++
+			mu.Unlock()
+			if err != nil {
+				mu.Lock()
+				if _, ok := err.(*ShedError); ok {
+					rep.Shed++
+				} else {
+					rep.Rejected++
+				}
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			rep.Admitted++
+			mu.Unlock()
+			if !spec.Watch {
+				return
+			}
+			final, err := c.Watch(ctx, st.ID, func(hwsim.Record) error {
+				records.Add(1)
+				return nil
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				rep.Failed++
+				return
+			}
+			switch final.State {
+			case StateDone:
+				rep.Completed++
+			case StateCancelled:
+				rep.Cancelled++
+			default:
+				rep.Failed++
+			}
+		}(i)
+	}
+	wg.Wait()
+	rep.Records = int(records.Load())
+	rep.Elapsed = time.Since(start)
+	if secs := rep.Elapsed.Seconds(); secs > 0 {
+		rep.JobsPerSec = float64(rep.Completed) / secs
+	}
+	return rep, nil
+}

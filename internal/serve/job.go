@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/evolve"
+)
+
+// State is a job's lifecycle position. The transitions are:
+//
+//	queued ──▶ running ──▶ done
+//	   │          ├──────▶ failed
+//	   └──────────┴──────▶ cancelled
+//
+// Terminal states (done, failed, cancelled) never transition again.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Spec is one evolution job request — the JSON body of POST /jobs.
+// (Workload, Population, Generations, Seed) is also the shared run
+// cache key: two admitted jobs with equal tuples execute one
+// evolution.
+type Spec struct {
+	Workload    string `json:"workload"`
+	Population  int    `json:"population,omitempty"`
+	Generations int    `json:"generations,omitempty"`
+	Seed        uint64 `json:"seed,omitempty"`
+	// Client identifies the submitter for the per-client in-flight
+	// cap; empty falls back to the transport identity (header, then
+	// remote address).
+	Client string `json:"client,omitempty"`
+}
+
+// withDefaults fills unset fields with the daemon's defaults.
+func (sp Spec) withDefaults() Spec {
+	if sp.Population <= 0 {
+		sp.Population = 64
+	}
+	if sp.Generations <= 0 {
+		sp.Generations = 30
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 42
+	}
+	return sp
+}
+
+// validate rejects specs the scheduler would choke on.
+func (sp Spec) validate() error {
+	if _, err := evolve.WorkloadByName(sp.Workload); err != nil {
+		return err
+	}
+	if sp.Population < 2 {
+		return fmt.Errorf("population %d: need at least 2", sp.Population)
+	}
+	if sp.Generations < 1 {
+		return fmt.Errorf("generations %d: need at least 1", sp.Generations)
+	}
+	return nil
+}
+
+// key is the spec's run-cache identity rendered as a stable string —
+// used for checkpoint file names, so an interrupted job's resubmission
+// finds its checkpoint by construction.
+func (sp Spec) key() string {
+	return fmt.Sprintf("%s-p%d-g%d-s%d", sp.Workload, sp.Population, sp.Generations, sp.Seed)
+}
+
+// Job is one submitted evolution with its lifecycle state and record
+// stream. All mutable fields are guarded by mu; reads go through
+// Status.
+type Job struct {
+	ID   string
+	Spec Spec
+
+	stream *stream
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+
+	// runner is published by the compute hook while the job is live on
+	// a cache miss; used for on-demand checkpoint requests.
+	runner atomic.Pointer[evolve.Runner]
+
+	mu        sync.Mutex
+	state     State
+	err       string
+	solved    bool
+	shared    bool // result came from the run cache, not a fresh execution
+	resumed   bool // fresh execution restored a checkpoint
+	best      float64
+	gens      int
+	cancel    context.CancelFunc
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	ckptAsked bool
+}
+
+// Status is the wire form of a job — what every jobs endpoint returns.
+type Status struct {
+	ID          string  `json:"id"`
+	Spec        Spec    `json:"spec"`
+	State       State   `json:"state"`
+	Error       string  `json:"error,omitempty"`
+	Solved      bool    `json:"solved,omitempty"`
+	Shared      bool    `json:"shared,omitempty"`
+	Resumed     bool    `json:"resumed,omitempty"`
+	BestFitness float64 `json:"best_fitness,omitempty"`
+	Generations int     `json:"generations"`
+	CreatedMs   int64   `json:"created_unix_ms"`
+	StartedMs   int64   `json:"started_unix_ms,omitempty"`
+	FinishedMs  int64   `json:"finished_unix_ms,omitempty"`
+}
+
+// Status snapshots the job under its lock.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:          j.ID,
+		Spec:        j.Spec,
+		State:       j.state,
+		Error:       j.err,
+		Solved:      j.solved,
+		Shared:      j.shared,
+		Resumed:     j.resumed,
+		BestFitness: j.best,
+		Generations: j.gens,
+		CreatedMs:   j.created.UnixMilli(),
+	}
+	if !j.started.IsZero() {
+		st.StartedMs = j.started.UnixMilli()
+	}
+	if !j.finished.IsZero() {
+		st.FinishedMs = j.finished.UnixMilli()
+	}
+	return st
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// start moves queued → running, wiring the cancel func. It reports
+// false when the job was cancelled while queued.
+func (j *Job) start(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	return true
+}
+
+// finish moves the job into a terminal state and closes the stream
+// and done channel, reporting whether this call performed the
+// transition (false if already terminal — a DELETE racing completion
+// keeps the first outcome).
+func (j *Job) finish(state State, errMsg string) bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = state
+	j.err = errMsg
+	j.finished = time.Now()
+	j.cancel = nil
+	j.mu.Unlock()
+	j.stream.Close()
+	close(j.done)
+	return true
+}
+
+// requestCancel cancels a running job's context, or reports the job
+// is still queued (the scheduler then finishes it directly). Terminal
+// jobs are left alone.
+func (j *Job) requestCancel() (wasQueued, wasRunning bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		return true, false
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return false, true
+	}
+	return false, false
+}
+
+// setOutcome records a finished run's result fields before finish.
+func (j *Job) setOutcome(solved, shared, resumed bool, best float64, gens int) {
+	j.mu.Lock()
+	j.solved = solved
+	j.shared = shared
+	j.resumed = resumed
+	j.best = best
+	j.gens = gens
+	j.mu.Unlock()
+}
+
+// noteRecord bumps the streamed-generation count and best fitness as
+// records flow — so GET /jobs/{id} shows live progress.
+func (j *Job) noteRecord(maxFitness float64) {
+	j.mu.Lock()
+	j.gens++
+	if maxFitness > j.best || j.gens == 1 {
+		j.best = maxFitness
+	}
+	j.mu.Unlock()
+}

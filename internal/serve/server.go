@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+
+	"repro/internal/hw/hwsim"
+)
+
+// Server is the genesysd HTTP surface over one Scheduler.
+//
+// Routes:
+//
+//	POST   /jobs                 submit a job (Spec JSON) → 202 Status
+//	GET    /jobs                 list jobs in submission order
+//	GET    /jobs/{id}            one job's Status
+//	DELETE /jobs/{id}            cancel (queued or running)
+//	POST   /jobs/{id}/checkpoint checkpoint at the next generation boundary
+//	GET    /jobs/{id}/events     Server-Sent Events record stream
+//	GET    /metrics              the hwsim counter registry as JSON
+//	GET    /healthz              liveness + drain state
+//
+// Admission failures: 429 (+ Retry-After seconds) when shed over the
+// queue depth or per-client cap, 503 while draining, 400 for invalid
+// specs.
+type Server struct {
+	sched *Scheduler
+	mux   *http.ServeMux
+}
+
+// NewServer wires the routes over the scheduler.
+func NewServer(sched *Scheduler) *Server {
+	s := &Server{sched: sched, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /jobs/{id}/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errorBody is every non-2xx JSON payload.
+type errorBody struct {
+	Error      string `json:"error"`
+	RetryAfter int    `json:"retry_after_seconds,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// clientOf resolves the submitter identity for the per-client cap:
+// the spec's own client field, then the X-Genesys-Client header, then
+// the remote host.
+func clientOf(spec Spec, r *http.Request) string {
+	if spec.Client != "" {
+		return spec.Client
+	}
+	if h := r.Header.Get("X-Genesys-Client"); h != "" {
+		return h
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad spec: %v", err)})
+		return
+	}
+	spec.Client = clientOf(spec, r)
+	j, err := s.sched.Submit(spec)
+	var shed *ShedError
+	switch {
+	case errors.As(err, &shed):
+		w.Header().Set("Retry-After", strconv.Itoa(shed.RetryAfter))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: shed.Reason, RetryAfter: shed.RetryAfter})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "daemon is draining"})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusAccepted, j.Status())
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.sched.Jobs()
+	out := struct {
+		Jobs []Status `json:"jobs"`
+	}{Jobs: make([]Status, 0, len(jobs))}
+	for _, j := range jobs {
+		out.Jobs = append(out.Jobs, j.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.sched.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	j, err := s.sched.CheckpointJob(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	data, err := s.sched.Counters().Snapshot().JSON()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.sched.mu.Lock()
+	draining := s.sched.draining
+	s.sched.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+	}{Status: "ok", Draining: draining})
+}
+
+// handleEvents streams a job's records as Server-Sent Events:
+//
+//	event: generation   data: hwsim.Record JSON   (one per generation)
+//	event: done         data: Status JSON         (terminal state, then EOF)
+//
+// A subscriber attaching mid-run first receives the full history —
+// the stream's replay seam guarantees no record is lost or duplicated
+// across the attach boundary.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	history, live, cancel := j.stream.Subscribe()
+	defer cancel()
+	send := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	for _, rec := range history {
+		if !send("generation", rec) {
+			return
+		}
+	}
+	for {
+		select {
+		case rec, ok := <-live:
+			if !ok {
+				// Stream closed: the job is terminal; emit the final
+				// status and end the response.
+				send("done", j.Status())
+				return
+			}
+			if !send("generation", rec) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+var _ hwsim.Sink = (*stream)(nil)

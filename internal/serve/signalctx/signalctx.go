@@ -1,0 +1,26 @@
+// Package signalctx is the one shared shutdown-signal helper for every
+// binary in the repository. All of the CLIs — and the genesysd daemon —
+// stop the same way: a context cancelled on the first SIGINT (Ctrl-C)
+// or SIGTERM (container stop, service manager), after which each
+// program runs its own checkpoint/flush path and exits. Centralizing
+// the os/signal wiring keeps that contract identical everywhere
+// instead of five hand-copied NotifyContext calls that can drift (the
+// pre-PR5 state: two binaries caught nothing, so `docker stop` lost
+// their partial work).
+package signalctx
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Notify returns a child of parent that is cancelled on the first
+// SIGINT or SIGTERM. The returned stop func releases the signal
+// registration (restoring default signal behavior, so a second signal
+// kills the process the usual way) and must be called on every exit
+// path — `defer stop()` right after the call is the intended shape.
+func Notify(parent context.Context) (ctx context.Context, stop context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}

@@ -1,0 +1,40 @@
+package signalctx
+
+import (
+	"context"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestNotifyCancelsOnSIGTERM sends the process a real SIGTERM and
+// asserts the context cancels — the path a container stop exercises.
+// The registration swallows the signal, so the test process survives.
+func TestNotifyCancelsOnSIGTERM(t *testing.T) {
+	ctx, stop := Notify(context.Background())
+	defer stop()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled within 5s of SIGTERM")
+	}
+	if ctx.Err() != context.Canceled {
+		t.Fatalf("ctx.Err() = %v, want context.Canceled", ctx.Err())
+	}
+}
+
+// TestStopDetachesParent: after stop, the context is cancelled (stop
+// cancels, like any CancelFunc) and signal delivery is restored.
+func TestStopDetachesParent(t *testing.T) {
+	ctx, stop := Notify(context.Background())
+	stop()
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("stop() should cancel the context")
+	}
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/hw/hwsim"
+)
+
+func rec(gen int) hwsim.Record {
+	return hwsim.Record{Workload: "w", Generation: gen}
+}
+
+// TestStreamReplaySeam: a subscriber attaching mid-stream sees every
+// record exactly once — history replay plus live follow with no loss
+// or duplication across the attach boundary, even under concurrent
+// recording.
+func TestStreamReplaySeam(t *testing.T) {
+	const total = 200
+	s := newStream()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			s.Record(rec(i))
+		}
+		s.Close()
+	}()
+
+	history, live, cancel := s.Subscribe()
+	defer cancel()
+	seen := append([]hwsim.Record(nil), history...)
+	for r := range live {
+		seen = append(seen, r)
+	}
+	wg.Wait()
+
+	if len(seen) != total {
+		t.Fatalf("subscriber saw %d records, want %d", len(seen), total)
+	}
+	for i, r := range seen {
+		if r.Generation != i {
+			t.Fatalf("record %d has generation %d: lost or duplicated at the seam", i, r.Generation)
+		}
+	}
+	if s.Dropped() != 0 {
+		t.Fatalf("%d records dropped with an attentive subscriber", s.Dropped())
+	}
+}
+
+// TestStreamCloseIdempotent: records after close are ignored, late
+// subscribers get the full history and an already-closed channel, and
+// double close is safe.
+func TestStreamCloseIdempotent(t *testing.T) {
+	s := newStream()
+	s.Record(rec(0))
+	s.Record(rec(1))
+	s.Close()
+	s.Close()
+	s.Record(rec(2)) // ignored
+
+	history, live, cancel := s.Subscribe()
+	defer cancel()
+	if len(history) != 2 {
+		t.Fatalf("late subscriber got %d history records, want 2", len(history))
+	}
+	if _, ok := <-live; ok {
+		t.Fatal("late subscriber's channel should be closed")
+	}
+}
+
+// TestStreamSlowSubscriberDropsNotBlocks: a subscriber that never
+// drains loses records past its buffer, and Record never blocks.
+func TestStreamSlowSubscriberDropsNotBlocks(t *testing.T) {
+	s := newStream()
+	_, _, cancel := s.Subscribe()
+	defer cancel()
+	for i := 0; i < subBuffer+50; i++ {
+		s.Record(rec(i)) // would deadlock here if Record blocked
+	}
+	if d := s.Dropped(); d != 50 {
+		t.Fatalf("dropped %d records, want 50", d)
+	}
+	if s.Len() != subBuffer+50 {
+		t.Fatalf("history has %d records, want %d (drops must not touch history)", s.Len(), subBuffer+50)
+	}
+}

@@ -3,13 +3,14 @@
 #
 # Runs the compiled-kernel microbenches (compile, feed, full-generation
 # evaluation), the replay-layer benches (one SoC generation, one EvE
-# trace replay), and, unless BENCH_QUICK=1, the full-suite harness
-# bench plus the root figure-regeneration benches, then renders
-# everything into a machine-readable trajectory record via
-# cmd/benchjson:
+# trace replay), the serving-layer throughput bench (jobs/sec through a
+# real genesysd over loopback HTTP, serial vs parallel worker pool),
+# and, unless BENCH_QUICK=1, the full-suite harness bench plus the root
+# figure-regeneration benches, then renders everything into a
+# machine-readable trajectory record via cmd/benchjson:
 #
-#	scripts/bench.sh                 # full run, writes BENCH_PR4.json
-#	BENCH_QUICK=1 scripts/bench.sh   # kernel + replay microbenches only
+#	scripts/bench.sh                 # full run, writes BENCH_PR5.json
+#	BENCH_QUICK=1 scripts/bench.sh   # kernel + replay + serve microbenches only
 #
 # The JSON carries ns/op, B/op, allocs/op and custom figure metrics for
 # every benchmark, the pinned pre-PR baselines, and headline speedup
@@ -18,7 +19,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_PR4.json}
+out=${BENCH_OUT:-BENCH_PR5.json}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
@@ -33,6 +34,10 @@ go test -run=NONE -bench='BenchmarkSoCRunGeneration' \
     -benchmem -count=3 -benchtime=1s ./internal/hw/soc/ | tee -a "$tmp"
 go test -run=NONE -bench='BenchmarkEvEReplay' \
     -benchmem -count=3 -benchtime=1s ./internal/hw/eve/ | tee -a "$tmp"
+
+echo "== serve throughput bench (daemon jobs/sec, serial vs parallel pool)"
+go test -run=NONE -bench='BenchmarkServeThroughput' \
+    -benchmem -count=2 -benchtime=1s ./internal/serve/ | tee -a "$tmp"
 
 if [ "${BENCH_QUICK:-0}" != "1" ]; then
     echo "== experiment-suite bench (full harness, cold cache per iteration)"

@@ -5,12 +5,14 @@
 # build, the full test suite, the race detector over the packages that
 # exercise concurrency (the evolve evaluation pool and study runner, the
 # compiled-network kernel and its reuse cache, the hardware counter
-# registry, fault injector included, and the experiment harness's
-# singleflight run cache + parallel scheduler), a one-iteration smoke
-# over the kernel and replay trajectory benchmarks (so a change that
-# breaks the bench harness fails here, not in scripts/bench.sh), and a
-# short fuzz smoke over the two untrusted-input decoders (trace parser,
-# NEAT checkpoint).
+# registry, fault injector included, the experiment harness's
+# singleflight run cache + parallel scheduler, and the genesysd serving
+# layer with its integration test), a server smoke that runs the real
+# genesysd + genesysctl binaries end to end on an ephemeral port, a
+# one-iteration smoke over the kernel and replay trajectory benchmarks
+# (so a change that breaks the bench harness fails here, not in
+# scripts/bench.sh), and a short fuzz smoke over the two untrusted-input
+# decoders (trace parser, NEAT checkpoint).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,9 +34,36 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (evolve, network, hw, experiments)"
+echo "== go test -race (evolve, network, hw, experiments, serve)"
 go test -race ./internal/evolve/... ./internal/network/... ./internal/hw/... \
-    ./internal/experiments/...
+    ./internal/experiments/... ./internal/serve/...
+
+echo "== genesysd smoke (real binaries, ephemeral port)"
+smokedir=$(mktemp -d)
+go build -o "$smokedir/genesysd" ./cmd/genesysd
+go build -o "$smokedir/genesysctl" ./cmd/genesysctl
+"$smokedir/genesysd" -addr 127.0.0.1:0 -addr-file "$smokedir/addr" &
+daemon=$!
+for _ in $(seq 1 100); do
+    [ -s "$smokedir/addr" ] && break
+    sleep 0.1
+done
+addr="http://$(cat "$smokedir/addr")"
+# A tiny CartPole job end to end: the watch output must carry SSE
+# generation records and a terminal done state.
+watch_out=$("$smokedir/genesysctl" -addr "$addr" submit \
+    -workload cartpole -pop 24 -generations 3 -watch)
+echo "$watch_out"
+echo "$watch_out" | grep -q "gen " || { echo "no SSE generation records" >&2; exit 1; }
+echo "$watch_out" | grep -q ": done solved=" || { echo "job did not finish" >&2; exit 1; }
+# /metrics must be valid JSON: genesysctl decodes the body into the
+# counter-report type (dying on malformed JSON) before re-rendering it.
+"$smokedir/genesysctl" -addr "$addr" metrics > "$smokedir/metrics.json"
+grep -q '"genesysd"' "$smokedir/metrics.json" || { echo "metrics missing root" >&2; exit 1; }
+# SIGTERM must drain cleanly.
+kill -TERM "$daemon"
+wait "$daemon" || { echo "genesysd exited non-zero on SIGTERM" >&2; exit 1; }
+rm -rf "$smokedir"
 
 echo "== bench smoke (kernel + replay trajectory benches, 1 iteration)"
 go test -run=NONE -bench='BenchmarkNetworkCompile|BenchmarkNetworkFeed' \
@@ -45,6 +74,8 @@ go test -run=NONE -bench='BenchmarkSoCRunGeneration' \
     -benchtime=1x ./internal/hw/soc/
 go test -run=NONE -bench='BenchmarkEvEReplay' \
     -benchtime=1x ./internal/hw/eve/
+go test -run=NONE -bench='BenchmarkServeThroughput' \
+    -benchtime=1x ./internal/serve/
 
 echo "== fuzz smoke (trace, neat checkpoint)"
 # -fuzzminimizetime is bounded in execs: the default 60s-per-input
