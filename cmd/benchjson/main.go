@@ -72,15 +72,37 @@ type Document struct {
 // Its ns headline is a regression tripwire for serving-layer overhead;
 // the parallel story is the separate ServeThroughput_parallel_speedup
 // headline computed within one document.
+//
+// PR6 batch-engine benches (at 7603cf6, best-of-5 on the same host):
+// the batch benchmarks did not exist pre-change, so each is pinned to
+// the scalar path it replaces, re-measured at the pre-PR commit.
+// BenchmarkNetworkFeedBatch reports ns per lane-inference, directly
+// comparable to the scalar BenchmarkNetworkFeed per-inference cost;
+// BenchmarkEvaluateGenerationBatch shares its exact workload (cartpole,
+// pop 64, 8 warm-up generations, parallelism 4) with the pre-batch
+// BenchmarkEvaluateGeneration. The separately recorded BENCH_PR5
+// EvaluateGeneration value (benchPR5EvaluateGeneration below) is the
+// acceptance denominator for the PR6 ≥2× target; the 7603cf6 pin is
+// the stricter same-session number.
 var baselines = map[string]Baseline{
-	"BenchmarkNetworkCompile":      {Commit: "a523566", NsPerOp: 10884, BPerOp: 8888, Allocs: 101},
-	"BenchmarkNetworkFeed":         {Commit: "a523566", NsPerOp: 450.9, BPerOp: 280, Allocs: 6},
-	"BenchmarkEvaluateGeneration":  {Commit: "a523566", NsPerOp: 1465537, BPerOp: 585224, Allocs: 29172},
-	"BenchmarkExperimentSuite":     {Commit: "14eb020", NsPerOp: 27692578274},
-	"BenchmarkSoCRunGeneration":    {Commit: "14eb020", NsPerOp: 17511, BPerOp: 10424, Allocs: 154},
-	"BenchmarkEvEReplay":           {Commit: "14eb020", NsPerOp: 58341, BPerOp: 25648, Allocs: 214},
-	"BenchmarkServeThroughput/j=1": {Commit: "cb021f3", NsPerOp: 1183991, BPerOp: 1187224, Allocs: 1454},
+	"BenchmarkNetworkCompile":          {Commit: "a523566", NsPerOp: 10884, BPerOp: 8888, Allocs: 101},
+	"BenchmarkNetworkFeed":             {Commit: "a523566", NsPerOp: 450.9, BPerOp: 280, Allocs: 6},
+	"BenchmarkEvaluateGeneration":      {Commit: "a523566", NsPerOp: 1465537, BPerOp: 585224, Allocs: 29172},
+	"BenchmarkExperimentSuite":         {Commit: "14eb020", NsPerOp: 27692578274},
+	"BenchmarkSoCRunGeneration":        {Commit: "14eb020", NsPerOp: 17511, BPerOp: 10424, Allocs: 154},
+	"BenchmarkEvEReplay":               {Commit: "14eb020", NsPerOp: 58341, BPerOp: 25648, Allocs: 214},
+	"BenchmarkServeThroughput/j=1":     {Commit: "cb021f3", NsPerOp: 1183991, BPerOp: 1187224, Allocs: 1454},
+	"BenchmarkNetworkFeedBatch":        {Commit: "7603cf6", NsPerOp: 178.8},
+	"BenchmarkEvaluateGenerationBatch": {Commit: "7603cf6", NsPerOp: 508671, BPerOp: 7704, Allocs: 193},
 }
+
+// benchPR5EvaluateGeneration is the BenchmarkEvaluateGeneration value
+// recorded in BENCH_PR5.json — the denominator the PR6 acceptance
+// criterion ("≥2× over the BENCH_PR5 value") is defined against. It
+// was measured under the PR5 bench protocol on this host; the 7603cf6
+// baseline above re-measures the same commit in the PR6 session and is
+// the lower (stricter) comparison point.
+const benchPR5EvaluateGeneration = 636743.0
 
 func main() {
 	// Ctrl-C or SIGTERM stops reading stdin early and renders the
@@ -184,6 +206,14 @@ func main() {
 			// ratio floor marker.
 			doc.Headlines[key+"_allocs_ratio"] = base.Allocs
 		}
+	}
+
+	// The PR6 acceptance headline: the tensorized engine against the
+	// EvaluateGeneration value recorded in BENCH_PR5.json (same
+	// workload; the batch bench is its successor).
+	if batch, ok := byName["BenchmarkEvaluateGenerationBatch"]; ok && batch.NsPerOp > 0 {
+		doc.Headlines["EvaluateGenerationBatch_vs_pr5_speedup"] =
+			round2(benchPR5EvaluateGeneration / batch.NsPerOp)
 	}
 
 	// The serve scaling headline is computed within this document:

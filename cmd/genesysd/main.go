@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof
 	"os"
 	"runtime"
 	"time"
@@ -37,6 +38,8 @@ func main() {
 		queue      = flag.Int("queue", 16, "queued-job cap; submissions beyond it are shed with 429")
 		perClient  = flag.Int("per-client", 0, "per-client queued+running cap (0 = unlimited)")
 		evalPar    = flag.Int("eval-parallelism", 1, "per-job evaluation worker pool width")
+		batchWidth = flag.Int("batch-width", 0, "per-job batch evaluation engine lane cap (0 = engine default; results are identical at every width)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = disabled)")
 		ckptDir    = flag.String("checkpoint-dir", "", "directory for job checkpoints; interrupted jobs resume on resubmission")
 		ckptEvery  = flag.Int("checkpoint-every", 5, "periodic checkpoint interval in generations (with -checkpoint-dir)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long running jobs may finish after SIGTERM before being checkpointed and cancelled")
@@ -56,11 +59,28 @@ func main() {
 		}
 	}
 
+	// The profiling endpoint lives on its own listener so the pprof
+	// surface is never exposed on the API address by accident.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genesysd: pprof:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("genesysd: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "genesysd: pprof:", err)
+			}
+		}()
+	}
+
 	sched := serve.NewScheduler(serve.Config{
 		MaxRunning:        *maxRunning,
 		MaxQueue:          *queue,
 		MaxPerClient:      *perClient,
 		RunnerParallelism: *evalPar,
+		RunnerBatchWidth:  *batchWidth,
 		CheckpointDir:     *ckptDir,
 		CheckpointEvery:   *ckptEvery,
 	})

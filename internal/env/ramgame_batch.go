@@ -1,0 +1,146 @@
+package env
+
+import "repro/internal/rng"
+
+// ramGameBatch is the native struct-of-arrays RAM machine: per-lane
+// registers, counters, and RNG streams in parallel arrays, advanced in
+// one flat loop. Each lane executes the exact statement sequence of
+// RAMGame.Step (same mixing, same graded reward, same RNG draws), so a
+// lane is bit-equal to a scalar RAMGame with the same seed and actions.
+type ramGameBatch struct {
+	title     string
+	actions   int
+	threatIdx int
+	scoreIdx  int
+	livesIdx  int
+	budget    int
+	width     int
+
+	ram    [][128]byte
+	score  []int
+	lives  []int
+	misses []int
+	steps  []int
+	rnd    []rng.XorWow
+}
+
+func init() {
+	for name := range ramTitles {
+		name := name
+		registerBatch(name, func(width int) Batch { return newRAMGameBatch(name, width) })
+	}
+}
+
+func newRAMGameBatch(title string, width int) *ramGameBatch {
+	t := ramTitles[title]
+	return &ramGameBatch{
+		title:     title,
+		actions:   t.actions,
+		threatIdx: t.threatIdx,
+		scoreIdx:  126,
+		livesIdx:  127,
+		budget:    t.budget,
+		width:     width,
+		ram:       make([][128]byte, width),
+		score:     make([]int, width),
+		lives:     make([]int, width),
+		misses:    make([]int, width),
+		steps:     make([]int, width),
+		rnd:       make([]rng.XorWow, width),
+	}
+}
+
+func (b *ramGameBatch) Name() string         { return b.title }
+func (b *ramGameBatch) ObservationSize() int { return 128 }
+func (b *ramGameBatch) ActionSize() int      { return b.actions }
+func (b *ramGameBatch) MaxSteps() int        { return b.budget }
+func (b *ramGameBatch) Width() int           { return b.width }
+func (b *ramGameBatch) LaneEnv(int) Env      { return nil }
+
+func (b *ramGameBatch) syncStatusCells(lane int) {
+	b.ram[lane][b.scoreIdx] = byte(b.score[lane])
+	b.ram[lane][b.livesIdx] = byte(b.lives[lane])
+}
+
+func (b *ramGameBatch) observe(lane int, obs []float64) {
+	w := b.width
+	for i, v := range b.ram[lane] {
+		obs[i*w+lane] = float64(v) / 255
+	}
+}
+
+func (b *ramGameBatch) ResetLane(lane int, seed uint64, obs []float64) {
+	r := &b.rnd[lane]
+	r.Seed(seed ^ uint64(len(b.title))<<32)
+	for i := range b.ram[lane] {
+		b.ram[lane][i] = r.Byte()
+	}
+	b.score[lane] = 0
+	b.lives[lane] = 3
+	b.misses[lane] = 0
+	b.steps[lane] = 0
+	b.syncStatusCells(lane)
+	b.observe(lane, obs)
+}
+
+// laneArgmax decodes one lane's action column with argmax's exact
+// comparison order (first strict maximum wins).
+func (b *ramGameBatch) laneArgmax(actions []float64, lane int) int {
+	w := b.width
+	best := 0
+	for i := 1; i < b.actions; i++ {
+		if actions[i*w+lane] > actions[best*w+lane] {
+			best = i
+		}
+	}
+	return best
+}
+
+func (b *ramGameBatch) StepAll(obs, rewards []float64, done []bool, actions []float64, active int) {
+	for lane := 0; lane < active; lane++ {
+		ram := &b.ram[lane]
+		want := int(ram[b.threatIdx]) * b.actions / 256
+		got := b.laneArgmax(actions, lane)
+
+		reward := 0.0
+		switch {
+		case got == want:
+			b.score[lane]++
+			b.misses[lane] = 0
+			reward = 1
+		case got == want-1 || got == want+1:
+			b.misses[lane] = 0
+			reward = 0.25
+		default:
+			b.misses[lane]++
+			if b.misses[lane] >= 4 {
+				b.lives[lane]--
+				b.misses[lane] = 0
+				reward = -1
+			}
+		}
+
+		for i := 0; i < b.scoreIdx; i++ {
+			v := ram[i]
+			v ^= v << 3
+			v ^= v >> 5
+			ram[i] = v + byte(i) + byte(b.steps[lane])
+		}
+		ram[b.threatIdx] = b.rnd[lane].Byte()
+		b.steps[lane]++
+		b.syncStatusCells(lane)
+
+		done[lane] = b.lives[lane] <= 0 || b.steps[lane] >= b.budget
+		rewards[lane] = reward
+		b.observe(lane, obs)
+	}
+}
+
+func (b *ramGameBatch) SwapLanes(i, j int) {
+	b.ram[i], b.ram[j] = b.ram[j], b.ram[i]
+	b.score[i], b.score[j] = b.score[j], b.score[i]
+	b.lives[i], b.lives[j] = b.lives[j], b.lives[i]
+	b.misses[i], b.misses[j] = b.misses[j], b.misses[i]
+	b.steps[i], b.steps[j] = b.steps[j], b.steps[i]
+	b.rnd[i], b.rnd[j] = b.rnd[j], b.rnd[i]
+}

@@ -40,3 +40,36 @@ func BenchmarkEvaluateGeneration(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEvaluateGenerationScalar pins the reference serial
+// semantics — the pre-batch-engine evaluation path — on the identical
+// workload, so the batch engine's speedup is measured in-tree.
+func BenchmarkEvaluateGenerationScalar(b *testing.B) {
+	r := benchRunner(b, 64, 8)
+	r.Parallelism = 4
+	r.Scalar = true
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := r.EvaluateGeneration(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateGenerationBatch is the tensorized engine at its
+// default width on the same evolved population — the PR6 acceptance
+// benchmark (same workload as BenchmarkEvaluateGeneration, batch
+// successor).
+func BenchmarkEvaluateGenerationBatch(b *testing.B) {
+	r := benchRunner(b, 64, 8)
+	r.Parallelism = 4
+	r.BatchWidth = 64
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := r.EvaluateGeneration(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package evolve
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/neat"
+)
+
+// evolveGens runs gens generations of a fresh runner for the workload,
+// with configure applied before the first step (Scalar/BatchWidth/
+// Parallelism knobs), and returns the runner with its History filled.
+func evolveGens(t *testing.T, workload string, seed uint64, pop, gens int, configure func(*Runner)) *Runner {
+	t.Helper()
+	cfg := neat.DefaultConfig(0, 0)
+	cfg.PopulationSize = pop
+	r, err := NewRunner(workload, cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if configure != nil {
+		configure(r)
+	}
+	ctx := context.Background()
+	for i := 0; i < gens; i++ {
+		st, err := r.Step(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Solved {
+			break
+		}
+	}
+	return r
+}
+
+// compareRuns bit-compares two evolution trajectories: every
+// per-generation stat (fitness as raw float bits, work ledgers as
+// exact integers) and the final population's per-genome fitness. Any
+// float deviation in evaluation compounds through reproduction, so
+// equality over multiple generations pins the batch engine to the
+// scalar semantics transitively.
+func compareRuns(t *testing.T, want, got *Runner, label string) {
+	t.Helper()
+	if len(want.History) != len(got.History) {
+		t.Fatalf("%s: history length %d != %d", label, len(got.History), len(want.History))
+	}
+	for i := range want.History {
+		a, b := want.History[i], got.History[i]
+		if math.Float64bits(a.MaxFitness) != math.Float64bits(b.MaxFitness) ||
+			math.Float64bits(a.MeanFitness) != math.Float64bits(b.MeanFitness) {
+			t.Fatalf("%s: gen %d fitness diverged: scalar max=%v mean=%v, batch max=%v mean=%v",
+				label, i, a.MaxFitness, a.MeanFitness, b.MaxFitness, b.MeanFitness)
+		}
+		if a.EnvSteps != b.EnvSteps || a.InferenceMACs != b.InferenceMACs || a.VertexUpdates != b.VertexUpdates {
+			t.Fatalf("%s: gen %d work ledger diverged: scalar %d/%d/%d, batch %d/%d/%d",
+				label, i, a.EnvSteps, a.InferenceMACs, a.VertexUpdates, b.EnvSteps, b.InferenceMACs, b.VertexUpdates)
+		}
+		if a.TotalGenes != b.TotalGenes || a.NumSpecies != b.NumSpecies ||
+			a.CrossoverOps != b.CrossoverOps || a.MutationOps != b.MutationOps {
+			t.Fatalf("%s: gen %d reproduction diverged: %+v vs %+v", label, i, a, b)
+		}
+	}
+	if len(want.Pop.Genomes) != len(got.Pop.Genomes) {
+		t.Fatalf("%s: population size %d != %d", label, len(got.Pop.Genomes), len(want.Pop.Genomes))
+	}
+	for i := range want.Pop.Genomes {
+		fa, fb := want.Pop.Genomes[i].Fitness, got.Pop.Genomes[i].Fitness
+		if math.Float64bits(fa) != math.Float64bits(fb) {
+			t.Fatalf("%s: genome %d fitness %v != scalar %v", label, i, fb, fa)
+		}
+	}
+}
+
+// TestBatchMatchesScalarAllWorkloads is the tentpole's differential
+// acceptance test: for every registered workload, several generations
+// of randomized NEAT genomes evaluated by the batch engine must equal
+// the reference serial path bit for bit — fitness, PRNG-driven
+// reproduction, and work ledgers. A narrow batch width forces lane
+// backfill and swap-retire on every generation.
+func TestBatchMatchesScalarAllWorkloads(t *testing.T) {
+	for _, name := range WorkloadNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			scalar := evolveGens(t, name, 97, 20, 2, func(r *Runner) { r.Scalar = true })
+			batch := evolveGens(t, name, 97, 20, 2, func(r *Runner) { r.BatchWidth = 6 })
+			compareRuns(t, scalar, batch, name)
+		})
+	}
+}
+
+// TestBatchWidthInvariance pins schedule independence: any lane width
+// (including degenerate width 1 and a width larger than the unit
+// count) produces the identical trajectory, because episode seeds
+// depend only on (runner seed, generation, genome, episode).
+func TestBatchWidthInvariance(t *testing.T) {
+	scalar := evolveGens(t, "cartpole", 11, 18, 3, func(r *Runner) { r.Scalar = true })
+	for _, width := range []int{1, 2, 5, 256} {
+		batch := evolveGens(t, "cartpole", 11, 18, 3, func(r *Runner) { r.BatchWidth = width })
+		compareRuns(t, scalar, batch, "cartpole/width")
+	}
+}
+
+// TestBatchParallelMatchesSerial pins the multi-worker batch dispatch
+// (chunked jobs over the worker pool) to the same bit-exact result.
+func TestBatchParallelMatchesSerial(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, seed := range []uint64{3, 29} {
+		scalar := evolveGens(t, "cartpole", seed, 24, 3, func(r *Runner) { r.Scalar = true })
+		par := evolveGens(t, "cartpole", seed, 24, 3, func(r *Runner) {
+			r.Parallelism = 3
+			r.BatchWidth = 4
+		})
+		compareRuns(t, scalar, par, "cartpole/parallel")
+	}
+}

@@ -99,6 +99,15 @@ type Runner struct {
 	// Parallelism caps the evaluation worker pool (population-level
 	// parallelism); 0 means GOMAXPROCS.
 	Parallelism int
+	// BatchWidth is the lane count of the tensorized batch engine (the
+	// number of episodes one worker advances in lock-step); 0 selects
+	// the default width. See batch.go.
+	BatchWidth int
+	// Scalar disables the batch engine and evaluates with the reference
+	// serial semantics (one episode at a time per worker). The batch
+	// engine is pinned byte-identical to this path by the differential
+	// tests; the knob exists for those tests and for debugging.
+	Scalar bool
 	// Sink, when set, receives one hwsim.Record per completed
 	// generation (the GenStats counter tree), tagged with the workload
 	// name.
@@ -134,13 +143,35 @@ type Runner struct {
 	phenos network.Cache
 	// dispatch is the reusable job-order scratch for EvaluateGeneration.
 	dispatch []int
+	// Batch-dispatch scratch, reused across generations so steady-state
+	// evaluation allocates nothing: per-(genome, episode) fitness slots,
+	// the LPT job list, topology groups (with their member slices), and
+	// the TopoKey bucket index.
+	perEpScratch []float64
+	jobScratch   []batchJob
+	groupScratch []evalGroup
+	bucketIdx    map[uint64][]int
 }
 
-// evalWorker is one persistent slot of the evaluation pool.
+// evalWorker is one persistent slot of the evaluation pool. The first
+// three fields serve the scalar (reference) path; the rest are the
+// batch engine's per-worker resources, created lazily by ensureBatch
+// and reused across generations (zero-alloc steady state).
 type evalWorker struct {
 	env     env.Env
 	shaper  Shaper
 	builder *network.Builder
+
+	// laneSets holds the batch rollout state (vectorized env + planes)
+	// per quantized lane width; widths recur across generations, so the
+	// map converges to a handful of entries and stops allocating.
+	laneSets map[int]*laneSet
+	// obsCol is the gather scratch for Observe of non-trivial shapers.
+	obsCol []float64
+	// netSlots caches one loaded BatchProgram (+state) per (phenotype
+	// topology, width), bucketed by TopoKey with structural
+	// confirmation, and swept generationally like the phenotype cache.
+	netSlots map[uint64][]*netSlot
 }
 
 // NewRunner builds a population configured for the workload's
@@ -205,10 +236,19 @@ func (r *Runner) ensureWorkers(n int) error {
 // (steps 1–6 of the walkthrough), exploiting population-level
 // parallelism with the persistent worker pool. It returns aggregate
 // inference work. Dispatch stops as soon as ctx is cancelled — in-flight
-// episodes finish, queued genomes are never started, and ctx.Err() is
+// work finishes, queued work is never started, and ctx.Err() is
 // returned — so an interrupt does not have to wait out a full
 // generation of long episodes.
+//
+// By default evaluation runs through the tensorized batch engine
+// (batch.go): same-topology genomes advance many episodes in lock-step
+// through struct-of-arrays planes. Results are byte-identical to the
+// reference serial semantics below (Scalar true), which remain the
+// executable specification.
 func (r *Runner) EvaluateGeneration(ctx context.Context) (envSteps, macs, updates int64, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, 0, err
+	}
 	genomes := r.Pop.Genomes
 	episodes := r.Workload.Episodes
 	if episodes < 1 {
@@ -229,6 +269,10 @@ func (r *Runner) EvaluateGeneration(ctx context.Context) (envSteps, macs, update
 	}
 	if err := r.ensureWorkers(workers); err != nil {
 		return 0, 0, 0, err
+	}
+
+	if !r.Scalar {
+		return r.evaluateGenerationBatch(ctx, workers, episodes)
 	}
 
 	if workers == 1 {
@@ -331,6 +375,28 @@ dispatch:
 // PhenoCache exposes the runner's compiled-phenotype reuse cache
 // (tests, diagnostics).
 func (r *Runner) PhenoCache() *network.Cache { return &r.phenos }
+
+// ReleaseEvalState drops the runner's evaluation machinery — the
+// persistent worker pool with its environments, batch planes, lane
+// sets, and network slots; the compiled-phenotype cache; and the
+// dispatch/group scratch — while leaving the result surface (History,
+// Pop, ScoreGenome, the trace already recorded) fully usable.
+// Everything released here is rebuilt lazily if the runner evaluates
+// again, so the only cost of calling it too eagerly is a warm-up
+// generation. Long-lived caches of finished runs call this so a
+// retained entry costs its history and population, not the whole
+// evaluation engine: on a busy daemon the batch planes of hundreds of
+// completed jobs would otherwise stay live and turn every GC cycle
+// into a scan of dead scratch.
+func (r *Runner) ReleaseEvalState() {
+	r.workers = nil
+	r.phenos.Reset()
+	r.dispatch = nil
+	r.perEpScratch = nil
+	r.jobScratch = nil
+	r.groupScratch = nil
+	r.bucketIdx = nil
+}
 
 // ScoreGenome re-evaluates one genome on the runner's workload with
 // the runner's deterministic episode seeds, without touching the

@@ -48,6 +48,12 @@ type Options struct {
 	// serial harness; outputs are byte-identical at every setting
 	// (pinned by TestParallelSerialIdentical).
 	Parallelism int
+	// BatchWidth caps the lane count of the tensorized batch evaluation
+	// engine inside each run (0 = engine default). Execution shape
+	// only: results are byte-identical at every width (the batch engine
+	// is pinned to the scalar reference by the evolve differential
+	// tests), so it is deliberately NOT part of the run-cache key.
+	BatchWidth int
 	// Ctx, when set, cancels in-flight evolution runs (e.g. on SIGINT);
 	// nil means context.Background().
 	Ctx context.Context
@@ -240,12 +246,18 @@ func evolveWorkload(workload string, opt Options, run int) (*evolved, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.BatchWidth = opt.BatchWidth
 	tr := &trace.Trace{}
 	r.SetRecorder(tr)
 	solved, err := r.Run(opt.ctx(), opt.gensFor(workload))
 	if err != nil {
 		return nil, err
 	}
+	// The run cache retains this entry for the process lifetime, but
+	// consumers only read History/Pop/trace (re-scoring goes through the
+	// self-contained ScoreGenome), so the evaluation engine — worker
+	// pool, batch planes, phenotype cache — is dead weight from here on.
+	r.ReleaseEvalState()
 	return &evolved{runner: r, trace: tr, solved: solved}, nil
 }
 

@@ -43,6 +43,11 @@ type SharedRequest struct {
 	// GOMAXPROCS); a scheduler running many jobs passes 1 so its own
 	// worker slots are the only parallelism.
 	Parallelism int
+	// BatchWidth caps the batch evaluation engine's lane count (0 =
+	// engine default). Like Parallelism it shapes execution without
+	// affecting identity — batch results are byte-identical to the
+	// scalar reference at every width — so it is not in the cache key.
+	BatchWidth int
 	// CheckpointPath + CheckpointEvery enable the PR 2 checkpoint
 	// machinery on a cache miss: the run persists at generation
 	// boundaries, resumes from an existing file at that path, and the
@@ -124,6 +129,7 @@ func evolveSharedLocked(req SharedRequest, out *SharedRun) (*evolved, error) {
 		return nil, err
 	}
 	r.Parallelism = req.Parallelism
+	r.BatchWidth = req.BatchWidth
 	r.Sink = req.Sink
 	tr := &trace.Trace{}
 	r.SetRecorder(tr)
@@ -150,5 +156,11 @@ func evolveSharedLocked(req SharedRequest, out *SharedRun) (*evolved, error) {
 	if req.CheckpointPath != "" {
 		os.Remove(req.CheckpointPath)
 	}
+	// Cached entries are read-only (History/Pop/trace; re-scoring uses
+	// the self-contained ScoreGenome), so drop the evaluation engine
+	// before the cache pins this runner for the process lifetime —
+	// otherwise every finished daemon job keeps its batch planes and
+	// environment pool live and GC scan time grows with jobs completed.
+	r.ReleaseEvalState()
 	return &evolved{runner: r, trace: tr, solved: solved}, nil
 }

@@ -1,0 +1,425 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/gene"
+	"repro/internal/vmath"
+)
+
+// Program is an exported handle to one compiled, immutable phenotype
+// program. It is what the batch engine schedules: the evolve layer
+// fetches Programs from the Cache (no per-evaluation instance
+// allocation), groups them by topology, and loads same-topology
+// Programs into the lanes of one BatchProgram. The zero Program is
+// invalid; check IsZero before use.
+type Program struct {
+	p *program
+}
+
+// IsZero reports whether the handle is empty (not compiled).
+func (pr Program) IsZero() bool { return pr.p == nil }
+
+// NumInputs returns the observation width the program expects.
+func (pr Program) NumInputs() int { return len(pr.p.inputs) }
+
+// NumOutputs returns the action width the program produces.
+func (pr Program) NumOutputs() int { return len(pr.p.outputs) }
+
+// NumVertices returns the node count.
+func (pr Program) NumVertices() int { return len(pr.p.ids) }
+
+// NumEdges returns the enabled connection count (MACs per inference).
+func (pr Program) NumEdges() int { return pr.p.macs }
+
+// Instantiate wraps the program with fresh scalar evaluation state —
+// the same Network the serial path has always used.
+func (pr Program) Instantiate() *Network { return pr.p.instantiate() }
+
+// TopoKey returns a hash of the program's evaluation structure: vertex
+// count, CSR fan-in shape, IO positions, schedule, and per-vertex
+// activation/aggregation ids — everything except the per-genome
+// parameters (weights, bias, response) and node ids. Two programs with
+// equal TopoKeys are candidates for sharing one BatchProgram; confirm
+// with SameTopology (keys can collide, topology equality cannot).
+func (pr Program) TopoKey() uint64 { return pr.p.topoHash }
+
+// SameTopology reports whether two programs share evaluation structure
+// exactly, lane-compatibility for one BatchProgram.
+func (pr Program) SameTopology(o Program) bool { return sameTopology(pr.p, o.p) }
+
+func sameTopology(a, b *program) bool {
+	if a == b {
+		return true
+	}
+	if a.topoHash != b.topoHash ||
+		len(a.ids) != len(b.ids) || a.macs != b.macs ||
+		len(a.inputs) != len(b.inputs) || len(a.outputs) != len(b.outputs) ||
+		len(a.evalPos) != len(b.evalPos) || len(a.layerEnd) != len(b.layerEnd) {
+		return false
+	}
+	eq32 := func(x, y []int32) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !eq32(a.edgeOff, b.edgeOff) || !eq32(a.edgePos, b.edgePos) ||
+		!eq32(a.inputs, b.inputs) || !eq32(a.outputs, b.outputs) ||
+		!eq32(a.evalPos, b.evalPos) || !eq32(a.layerEnd, b.layerEnd) {
+		return false
+	}
+	for i := range a.act {
+		if a.act[i] != b.act[i] || a.agg[i] != b.agg[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// topoHashOf computes the FNV-1a-style structural hash stored in every
+// compiled program. Word-wise rather than byte-wise: collisions are
+// tolerated (SameTopology confirms), speed matters (every compile pays
+// this).
+func topoHashOf(p *program) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime
+	}
+	mix(uint64(len(p.ids)))
+	mix(uint64(p.macs))
+	mix32 := func(s []int32) {
+		mix(uint64(len(s)))
+		for _, v := range s {
+			mix(uint64(uint32(v)))
+		}
+	}
+	mix32(p.edgeOff)
+	mix32(p.edgePos)
+	mix32(p.inputs)
+	mix32(p.outputs)
+	mix32(p.evalPos)
+	mix32(p.layerEnd)
+	for i := range p.act {
+		mix(uint64(p.act[i])<<8 | uint64(p.agg[i]))
+	}
+	return h
+}
+
+// BatchProgram evaluates up to Width lanes — same-topology phenotypes,
+// independent parameters — in lock-step. Structure (CSR fan-in, eval
+// schedule, activation ids) is shared across lanes; parameters live in
+// struct-of-arrays planes, one contiguous [thing][lane] row per weight,
+// bias, and response, so the inner loop streams each plane once per
+// vertex while amortizing all index arithmetic over the whole batch.
+//
+// Lanes are mutable: SetLane loads a different same-topology program
+// into one lane (the backfill operation of the evolve scheduler) and
+// SwapLanes reorders lanes (retiring a finished episode out of the
+// active prefix). A BatchProgram is not safe for concurrent use.
+type BatchProgram struct {
+	p      *program // structural exemplar; its params are NOT read
+	width  int      // allocated lanes == plane stride
+	biasL  []float64
+	respL  []float64
+	edgeWL []float64
+	// inPrefix records that the inputs sit at positions 0..n-1 in
+	// order (true for every genome whose input ids precede the rest —
+	// the NEAT numbering convention), which lets ObsPlane alias the
+	// observation plane onto the state's input rows.
+	inPrefix bool
+}
+
+// BatchState is the mutable evaluation state for one BatchProgram: the
+// [node][lane] activation planes plus the per-vertex lane scratch rows
+// (accumulator, pre-activation, exp argument/result). Zero-alloc in
+// steady state; create one per worker and reuse it.
+type BatchState struct {
+	vals []float64 // nv * stride activation planes
+	acc  []float64 // stride
+	pre  []float64 // stride
+	earg []float64 // stride
+	eexp []float64 // stride
+}
+
+// NewBatch allocates a batch evaluator with the given lane count,
+// shaped by the exemplar's topology. Every lane starts loaded with the
+// exemplar's parameters; use SetLane to load others.
+func NewBatch(exemplar Program, width int) *BatchProgram {
+	if exemplar.IsZero() {
+		panic("network: NewBatch on zero Program")
+	}
+	if width < 1 {
+		panic("network: NewBatch width < 1")
+	}
+	p := exemplar.p
+	bp := &BatchProgram{
+		p:      p,
+		width:  width,
+		biasL:  make([]float64, len(p.ids)*width),
+		respL:  make([]float64, len(p.ids)*width),
+		edgeWL: make([]float64, len(p.edgeW)*width),
+	}
+	for lane := 0; lane < width; lane++ {
+		bp.setLane(lane, p)
+	}
+	bp.inPrefix = true
+	for i, pos := range p.inputs {
+		if int(pos) != i {
+			bp.inPrefix = false
+			break
+		}
+	}
+	return bp
+}
+
+// Width returns the allocated lane count (the plane stride).
+func (bp *BatchProgram) Width() int { return bp.width }
+
+// NumInputs returns the observation width of every lane.
+func (bp *BatchProgram) NumInputs() int { return len(bp.p.inputs) }
+
+// NumOutputs returns the action width of every lane.
+func (bp *BatchProgram) NumOutputs() int { return len(bp.p.outputs) }
+
+// NumVertices returns the per-lane node count.
+func (bp *BatchProgram) NumVertices() int { return len(bp.p.ids) }
+
+// NumEdges returns the per-lane enabled connection count.
+func (bp *BatchProgram) NumEdges() int { return bp.p.macs }
+
+// SetLane loads pr's parameters into one lane. pr must share the batch
+// topology (the caller grouped by TopoKey + SameTopology; this is
+// re-checked cheaply by hash).
+func (bp *BatchProgram) SetLane(lane int, pr Program) error {
+	if lane < 0 || lane >= bp.width {
+		return fmt.Errorf("network: SetLane %d out of range [0,%d)", lane, bp.width)
+	}
+	if pr.IsZero() || pr.p.topoHash != bp.p.topoHash || !sameTopology(pr.p, bp.p) {
+		return fmt.Errorf("network: SetLane program topology mismatch")
+	}
+	bp.setLane(lane, pr.p)
+	return nil
+}
+
+func (bp *BatchProgram) setLane(lane int, p *program) {
+	w := bp.width
+	for i, v := range p.bias {
+		bp.biasL[i*w+lane] = v
+	}
+	for i, v := range p.resp {
+		bp.respL[i*w+lane] = v
+	}
+	for k, v := range p.edgeW {
+		bp.edgeWL[k*w+lane] = v
+	}
+}
+
+// SwapLanes exchanges the parameters of two lanes (activation state is
+// fully rewritten by every FeedBatchInto, so parameters are the only
+// per-lane network state). The evolve scheduler uses this to compact
+// live episodes into the active prefix.
+func (bp *BatchProgram) SwapLanes(a, b int) {
+	if a == b {
+		return
+	}
+	w := bp.width
+	nv := len(bp.p.ids)
+	for i := 0; i < nv; i++ {
+		r := i * w
+		bp.biasL[r+a], bp.biasL[r+b] = bp.biasL[r+b], bp.biasL[r+a]
+		bp.respL[r+a], bp.respL[r+b] = bp.respL[r+b], bp.respL[r+a]
+	}
+	for k := 0; k < len(bp.p.edgeW); k++ {
+		r := k * w
+		bp.edgeWL[r+a], bp.edgeWL[r+b] = bp.edgeWL[r+b], bp.edgeWL[r+a]
+	}
+}
+
+// ObsPlane returns the slice of st that doubles as this batch's
+// observation plane — the input rows of the activation state — or nil
+// when the program's inputs are not the position prefix. Writing
+// observations there directly (environment reset and step output) lets
+// FeedBatchInto skip its ingest copy: it detects the aliasing and
+// reads the rows in place.
+func (bp *BatchProgram) ObsPlane(st *BatchState) []float64 {
+	if !bp.inPrefix {
+		return nil
+	}
+	return st.vals[:len(bp.p.inputs)*bp.width]
+}
+
+// NewState allocates evaluation state sized for this batch.
+func (bp *BatchProgram) NewState() *BatchState {
+	w := bp.width
+	return &BatchState{
+		vals: make([]float64, len(bp.p.ids)*w),
+		acc:  make([]float64, w),
+		pre:  make([]float64, w),
+		earg: make([]float64, w),
+		eexp: make([]float64, w),
+	}
+}
+
+// FeedBatchInto evaluates the first active lanes on one observation
+// plane, writing output activation planes into dst. obs and dst are
+// struct-of-arrays: obs[i*Width+lane] is input i of lane, and
+// dst[o*Width+lane] is output o of lane (rows beyond the active prefix
+// are left untouched in dst). Per lane it performs exactly the float
+// operations of Network.FeedInto in exactly the same order — the batch
+// engine's byte-equality guarantee — with the one sigmoid exp computed
+// through vmath.ExpSlice, which is bit-identical to math.Exp by
+// construction.
+// Zero allocations in steady state.
+func (bp *BatchProgram) FeedBatchInto(st *BatchState, dst, obs []float64, active int) error {
+	p := bp.p
+	w := bp.width
+	if active < 0 || active > w {
+		return fmt.Errorf("network: active %d out of range [0,%d]", active, w)
+	}
+	if len(obs) < len(p.inputs)*w {
+		return fmt.Errorf("network: observation plane %d floats, want %d", len(obs), len(p.inputs)*w)
+	}
+	if len(dst) < len(p.outputs)*w {
+		return fmt.Errorf("network: destination plane %d floats, want %d", len(dst), len(p.outputs)*w)
+	}
+	if len(st.vals) != len(p.ids)*w {
+		return fmt.Errorf("network: state sized for %d floats, want %d", len(st.vals), len(p.ids)*w)
+	}
+	vals := st.vals
+	if !(bp.inPrefix && len(obs) > 0 && &obs[0] == &vals[0]) {
+		for i, pos := range p.inputs {
+			copy(vals[int(pos)*w:int(pos)*w+active], obs[i*w:i*w+active])
+		}
+	}
+	acc := st.acc[:active]
+	pre := st.pre[:active]
+	for _, pos := range p.evalPos {
+		lo, hi := p.edgeOff[pos], p.edgeOff[pos+1]
+		if f := p.agg[pos]; f == gene.AggSum {
+			for l := range acc {
+				acc[l] = 0
+			}
+			for k := lo; k < hi; k++ {
+				sp := int(p.edgePos[k]) * w
+				src := vals[sp : sp+active]
+				wp := bp.edgeWL[int(k)*w : int(k)*w+active]
+				wp = wp[:len(src)]
+				a := acc[:len(src)]
+				for l, v := range src {
+					a[l] += v * wp[l]
+				}
+			}
+		} else {
+			for l := 0; l < active; l++ {
+				acc[l] = bp.aggregateLane(f, vals, lo, hi, l)
+			}
+		}
+		bRow := bp.biasL[int(pos)*w : int(pos)*w+active]
+		rRow := bp.respL[int(pos)*w : int(pos)*w+active]
+		bRow = bRow[:len(acc)]
+		rRow = rRow[:len(acc)]
+		for l := range acc {
+			pre[l] = bRow[l] + rRow[l]*acc[l]
+		}
+		if p.act[pos] == gene.ActSigmoid {
+			earg := st.earg[:active]
+			for l := range pre {
+				earg[l] = -clampExp(5 * pre[l])
+			}
+			// Pad the exp call to the 4-lane vector quantum so a
+			// non-multiple-of-4 active count doesn't strand its tail on
+			// the scalar fallback: pad lanes hold stale (clamped,
+			// in-window) or zeroed arguments, and their results are
+			// never read.
+			r4 := (active + 3) &^ 3
+			if r4 > w {
+				r4 = w
+			}
+			vmath.ExpSlice(st.eexp[:r4], st.earg[:r4])
+			if r4 >= 16 {
+				// Wide rows finish the sigmoid through the windowless
+				// vector divide, over the same padded range (pad-lane
+				// vals are never read). Narrow rows stay scalar: below
+				// ~4 vector groups the call overhead costs more than
+				// the divide latency it saves.
+				vmath.Recip1pSlice(vals[int(pos)*w:int(pos)*w+r4], st.eexp[:r4])
+			} else {
+				row := vals[int(pos)*w : int(pos)*w+active]
+				eexp := st.eexp[:active]
+				for l := range row {
+					row[l] = 1 / (1 + eexp[l])
+				}
+			}
+		} else {
+			act := p.act[pos]
+			row := vals[int(pos)*w : int(pos)*w+active]
+			for l := range row {
+				row[l] = Activate(act, pre[l])
+			}
+		}
+	}
+	for i, pos := range p.outputs {
+		copy(dst[i*w:i*w+active], vals[int(pos)*w:int(pos)*w+active])
+	}
+	return nil
+}
+
+// aggregateLane is the strided, single-lane twin of aggregateEdges for
+// the non-sum aggregations: same cases, same edge order, same float
+// operations, reading lane columns out of the SoA planes.
+func (bp *BatchProgram) aggregateLane(f gene.Aggregation, vals []float64, lo, hi int32, lane int) float64 {
+	if hi == lo {
+		return 0
+	}
+	p, w := bp.p, bp.width
+	lv := func(k int32) float64 {
+		return vals[int(p.edgePos[k])*w+lane] * bp.edgeWL[int(k)*w+lane]
+	}
+	switch f {
+	case gene.AggProduct:
+		prod := 1.0
+		for k := lo; k < hi; k++ {
+			prod *= lv(k)
+		}
+		return prod
+	case gene.AggMax:
+		m := lv(lo)
+		for k := lo + 1; k < hi; k++ {
+			if x := lv(k); x > m {
+				m = x
+			}
+		}
+		return m
+	case gene.AggMin:
+		m := lv(lo)
+		for k := lo + 1; k < hi; k++ {
+			if x := lv(k); x < m {
+				m = x
+			}
+		}
+		return m
+	case gene.AggMean:
+		var s float64
+		for k := lo; k < hi; k++ {
+			s += lv(k)
+		}
+		return s / float64(hi-lo)
+	default:
+		var s float64
+		for k := lo; k < hi; k++ {
+			s += lv(k)
+		}
+		return s
+	}
+}
+
+// LaneValue reads row r, lane l out of a struct-of-arrays plane — a
+// readability helper for callers that index observation/action planes.
+func LaneValue(plane []float64, width, row, lane int) float64 {
+	return plane[row*width+lane]
+}

@@ -70,3 +70,32 @@ func BenchmarkNetworkFeed(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkNetworkFeedBatch measures one batched inference pass — the
+// same mid-evolution phenotype as BenchmarkNetworkFeed, 32 lanes in
+// lock-step — reported as ns per lane-inference so the number is
+// directly comparable to BenchmarkNetworkFeed's ns/op.
+func BenchmarkNetworkFeedBatch(b *testing.B) {
+	g := evolvedGenome(b, 8, 4, 64, 12, 42)
+	var bld Builder
+	pr, err := bld.Compile(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const width = 32
+	bp := NewBatch(pr, width)
+	st := bp.NewState()
+	obs := make([]float64, bp.NumInputs()*width)
+	for i := range obs {
+		obs[i] = 0.25 * float64(i%9)
+	}
+	dst := make([]float64, bp.NumOutputs()*width)
+	b.ReportMetric(float64(bp.NumEdges()), "edges")
+	b.ReportMetric(width, "lanes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i += width {
+		if err := bp.FeedBatchInto(st, dst, obs, width); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

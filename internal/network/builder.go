@@ -51,6 +51,17 @@ func (b *Builder) Build(g *gene.Genome) (*Network, error) {
 	return p.instantiate(), nil
 }
 
+// Compile compiles the genome and returns the shared immutable Program
+// handle without allocating scalar evaluation state — the batch
+// engine's entry point for one-off (uncached) compiles.
+func (b *Builder) Compile(g *gene.Genome) (Program, error) {
+	p, err := b.compile(g)
+	if err != nil {
+		return Program{}, err
+	}
+	return Program{p: p}, nil
+}
+
 // compile runs the full pass: dense id remap, CSR adjacency, Kahn
 // longest-path layering, depth-major vertex placement, and the fan-in
 // CSR in final-position space.
@@ -239,5 +250,6 @@ func (b *Builder) compile(g *gene.Genome) (*program, error) {
 		}
 		p.layerEnd = append(p.layerEnd, int32(len(p.evalPos)))
 	}
+	p.topoHash = topoHashOf(p)
 	return p, nil
 }

@@ -60,6 +60,35 @@ func (c *Cache) Get(b *Builder, g *gene.Genome) (*Network, error) {
 	return n, nil
 }
 
+// GetProgram returns the genome's compiled program as a shared
+// immutable handle, compiling with b on a miss. Unlike Get it performs
+// no per-call instance allocation — the batch engine's fetch path,
+// where lanes are loaded from Programs and scalar state is never built.
+func (c *Cache) GetProgram(b *Builder, g *gene.Genome) (Program, error) {
+	v := g.Version()
+	c.mu.Lock()
+	if e, ok := c.entries[v]; ok {
+		e.used = true
+		c.hits++
+		c.mu.Unlock()
+		return Program{p: e.prog}, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	p, err := b.compile(g)
+	if err != nil {
+		return Program{}, err
+	}
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[int64]*cacheEntry)
+	}
+	c.entries[v] = &cacheEntry{prog: p, used: true}
+	c.mu.Unlock()
+	return Program{p: p}, nil
+}
+
 // Sweep evicts every entry not served since the previous Sweep and
 // resets the usage marks. Called once per generation, it bounds the
 // cache to roughly two generations of live phenotypes: an entry used in
@@ -73,6 +102,16 @@ func (c *Cache) Sweep() {
 		}
 		e.used = false
 	}
+	c.mu.Unlock()
+}
+
+// Reset drops every cached program, releasing the compiled phenotypes
+// for collection. The hit/miss counters survive (they describe the
+// run, not the live set). Like Sweep it must not race with Get; call
+// it only once evaluation has stopped.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.entries = nil
 	c.mu.Unlock()
 }
 

@@ -44,6 +44,11 @@ type program struct {
 	layerEnd []int32
 
 	macs int
+
+	// topoHash fingerprints the evaluation structure (everything above
+	// except ids and the parameter arrays bias/resp/edgeW) — the batch
+	// engine's lane-compatibility grouping key. Set once by compile.
+	topoHash uint64
 }
 
 // Network is an evaluable instance of a compiled phenotype: a shared
@@ -74,6 +79,9 @@ func (p *program) instantiate() *Network {
 func New(g *gene.Genome) (*Network, error) {
 	return new(Builder).Build(g)
 }
+
+// Program returns the shared immutable program backing this instance.
+func (n *Network) Program() Program { return Program{p: n.prog} }
 
 // NumInputs returns the observation width the network expects.
 func (n *Network) NumInputs() int { return len(n.prog.inputs) }

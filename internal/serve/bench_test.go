@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/experiments"
 )
 
 // benchSeed hands every benchmark job a seed no other job (or test in
@@ -34,6 +36,14 @@ func BenchmarkServeThroughput(b *testing.B) {
 	}
 	for _, workers := range []int{1, parallel} {
 		b.Run(fmt.Sprintf("j=%d", workers), func(b *testing.B) {
+			// Every job here has a unique seed, so each one leaves an
+			// entry in the process-global run cache. Start each
+			// sub-benchmark with an empty cache and a fresh GC floor:
+			// otherwise the heap accumulated by earlier sub-runs taxes
+			// later ones and the j=1 vs j=N comparison measures cache
+			// residue, not scheduling.
+			experiments.ResetCaches()
+			runtime.GC()
 			sched := NewScheduler(Config{
 				MaxRunning: workers,
 				MaxQueue:   b.N + 16, // admission is not under test here

@@ -168,7 +168,12 @@ func (c *Client) Watch(ctx context.Context, id string, fn func(hwsim.Record) err
 	var data bytes.Buffer
 	var final *Status
 	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	// Start small — SSE event lines are a few hundred bytes — and let
+	// the scanner grow toward the 1 MiB cap only if a line demands it.
+	// A pre-sized 1 MiB buffer here costs a zeroed large alloc per
+	// watched job, which at load-test rates turns into GC pressure that
+	// throttles the very workers the watch is timing.
+	sc.Buffer(make([]byte, 4096), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		switch {

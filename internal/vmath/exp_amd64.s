@@ -1,0 +1,195 @@
+// 4-lane AVX2+FMA vector exp, lane-for-lane identical to the FMA path
+// of math.Exp's amd64 assembly (a SLEEF-derived kernel; see
+// $GOROOT/src/math/exp_amd64.s). Every arithmetic step below is the
+// packed twin of one scalar instruction there, executed in the same
+// order with the same constants, so each lane performs the same
+// sequence of IEEE-754 roundings and the results are bit-identical.
+//
+// The kernel only handles lanes in [-690, 690]: there the scalar code
+// takes no special-case branch (the biased exponent lands strictly
+// inside (0, 0x7FF), so neither the denormal nor the overflow path can
+// trigger, and the argument is finite by construction). On the first
+// 4-group with any lane outside that window the kernel stops and
+// reports how far it got; ExpSlice finishes with scalar math.Exp.
+// The sigmoid hot path clamps arguments to +/-60, so in practice the
+// window test always passes.
+
+#include "textflag.h"
+
+// Constant table, each value broadcast across 4 lanes. Offsets are
+// referenced through the #defines below; the polynomial coefficients
+// and split-log2 constants are copied verbatim from exp_amd64.s.
+#define VLO 0
+#define VHI 32
+#define VLOG2E 64
+#define VLN2U 96
+#define VLN2L 128
+#define VSIXTEENTH 160
+#define VC8 192
+#define VC7 224
+#define VC6 256
+#define VC5 288
+#define VC4 320
+#define VC3 352
+#define VHALF 384
+#define VONE 416
+#define VTWO 448
+#define VBIAS 480
+
+DATA vexp<>+0(SB)/8, $-690.0
+DATA vexp<>+8(SB)/8, $-690.0
+DATA vexp<>+16(SB)/8, $-690.0
+DATA vexp<>+24(SB)/8, $-690.0
+DATA vexp<>+32(SB)/8, $690.0
+DATA vexp<>+40(SB)/8, $690.0
+DATA vexp<>+48(SB)/8, $690.0
+DATA vexp<>+56(SB)/8, $690.0
+DATA vexp<>+64(SB)/8, $1.4426950408889634073599246810018920
+DATA vexp<>+72(SB)/8, $1.4426950408889634073599246810018920
+DATA vexp<>+80(SB)/8, $1.4426950408889634073599246810018920
+DATA vexp<>+88(SB)/8, $1.4426950408889634073599246810018920
+DATA vexp<>+96(SB)/8, $0.69314718055966295651160180568695068359375
+DATA vexp<>+104(SB)/8, $0.69314718055966295651160180568695068359375
+DATA vexp<>+112(SB)/8, $0.69314718055966295651160180568695068359375
+DATA vexp<>+120(SB)/8, $0.69314718055966295651160180568695068359375
+DATA vexp<>+128(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+DATA vexp<>+136(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+DATA vexp<>+144(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+DATA vexp<>+152(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+DATA vexp<>+160(SB)/8, $0.0625
+DATA vexp<>+168(SB)/8, $0.0625
+DATA vexp<>+176(SB)/8, $0.0625
+DATA vexp<>+184(SB)/8, $0.0625
+DATA vexp<>+192(SB)/8, $2.4801587301587301587e-5
+DATA vexp<>+200(SB)/8, $2.4801587301587301587e-5
+DATA vexp<>+208(SB)/8, $2.4801587301587301587e-5
+DATA vexp<>+216(SB)/8, $2.4801587301587301587e-5
+DATA vexp<>+224(SB)/8, $1.9841269841269841270e-4
+DATA vexp<>+232(SB)/8, $1.9841269841269841270e-4
+DATA vexp<>+240(SB)/8, $1.9841269841269841270e-4
+DATA vexp<>+248(SB)/8, $1.9841269841269841270e-4
+DATA vexp<>+256(SB)/8, $1.3888888888888888889e-3
+DATA vexp<>+264(SB)/8, $1.3888888888888888889e-3
+DATA vexp<>+272(SB)/8, $1.3888888888888888889e-3
+DATA vexp<>+280(SB)/8, $1.3888888888888888889e-3
+DATA vexp<>+288(SB)/8, $8.3333333333333333333e-3
+DATA vexp<>+296(SB)/8, $8.3333333333333333333e-3
+DATA vexp<>+304(SB)/8, $8.3333333333333333333e-3
+DATA vexp<>+312(SB)/8, $8.3333333333333333333e-3
+DATA vexp<>+320(SB)/8, $4.1666666666666666667e-2
+DATA vexp<>+328(SB)/8, $4.1666666666666666667e-2
+DATA vexp<>+336(SB)/8, $4.1666666666666666667e-2
+DATA vexp<>+344(SB)/8, $4.1666666666666666667e-2
+DATA vexp<>+352(SB)/8, $1.6666666666666666667e-1
+DATA vexp<>+360(SB)/8, $1.6666666666666666667e-1
+DATA vexp<>+368(SB)/8, $1.6666666666666666667e-1
+DATA vexp<>+376(SB)/8, $1.6666666666666666667e-1
+DATA vexp<>+384(SB)/8, $0.5
+DATA vexp<>+392(SB)/8, $0.5
+DATA vexp<>+400(SB)/8, $0.5
+DATA vexp<>+408(SB)/8, $0.5
+DATA vexp<>+416(SB)/8, $1.0
+DATA vexp<>+424(SB)/8, $1.0
+DATA vexp<>+432(SB)/8, $1.0
+DATA vexp<>+440(SB)/8, $1.0
+DATA vexp<>+448(SB)/8, $2.0
+DATA vexp<>+456(SB)/8, $2.0
+DATA vexp<>+464(SB)/8, $2.0
+DATA vexp<>+472(SB)/8, $2.0
+DATA vexp<>+480(SB)/8, $0x00000000000003FF
+DATA vexp<>+488(SB)/8, $0x00000000000003FF
+DATA vexp<>+496(SB)/8, $0x00000000000003FF
+DATA vexp<>+504(SB)/8, $0x00000000000003FF
+GLOBL vexp<>(SB), RODATA|NOPTR, $512
+
+// func expVec(dst, src *float64, n int) int
+TEXT ·expVec(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	XORQ AX, AX
+	SUBQ $3, CX // full 4-groups exist while AX < n-3
+	JLE  done
+
+loop:
+	CMPQ AX, CX
+	JGE  done
+	VMOVUPD (SI)(AX*8), Y0
+
+	// Window test: every lane must satisfy -690 <= x <= 690. The
+	// ordered compares also reject NaN lanes.
+	VCMPPD $0x1D, vexp<>+VLO(SB), Y0, Y1 // GE_OQ
+	VCMPPD $0x12, vexp<>+VHI(SB), Y0, Y2 // LE_OQ
+	VANDPD Y2, Y1, Y1
+	VMOVMSKPD Y1, DX
+	CMPL DX, $0xF
+	JNE  done
+
+	// k = round-to-nearest(x * LOG2E); t = float64(k).
+	// VCVTPD2DQ rounds via MXCSR exactly like the scalar CVTSD2SL.
+	VMULPD vexp<>+VLOG2E(SB), Y0, Y1
+	VCVTPD2DQY Y1, X1
+	VCVTDQ2PD X1, Y2
+
+	// x -= t*LN2U; x -= t*LN2L (both fused, as in the scalar path).
+	VFNMADD231PD vexp<>+VLN2U(SB), Y2, Y0
+	VFNMADD231PD vexp<>+VLN2L(SB), Y2, Y0
+
+	// Reduce, then the same 7-step fused Taylor evaluation.
+	VMULPD vexp<>+VSIXTEENTH(SB), Y0, Y0
+	VMOVUPD vexp<>+VC8(SB), Y3
+	VFMADD213PD vexp<>+VC7(SB), Y0, Y3
+	VFMADD213PD vexp<>+VC6(SB), Y0, Y3
+	VFMADD213PD vexp<>+VC5(SB), Y0, Y3
+	VFMADD213PD vexp<>+VC4(SB), Y0, Y3
+	VFMADD213PD vexp<>+VC3(SB), Y0, Y3
+	VFMADD213PD vexp<>+VHALF(SB), Y0, Y3
+	VFMADD213PD vexp<>+VONE(SB), Y0, Y3
+	VMULPD Y3, Y0, Y0
+
+	// Undo the reduction: three rounds of x *= (x+2), then the final
+	// fused x = (x+2)*x + 1.
+	VADDPD vexp<>+VTWO(SB), Y0, Y3
+	VMULPD Y3, Y0, Y0
+	VADDPD vexp<>+VTWO(SB), Y0, Y3
+	VMULPD Y3, Y0, Y0
+	VADDPD vexp<>+VTWO(SB), Y0, Y3
+	VMULPD Y3, Y0, Y0
+	VADDPD vexp<>+VTWO(SB), Y0, Y3
+	VFMADD213PD vexp<>+VONE(SB), Y3, Y0
+
+	// ldexp: scale by 2**k through exponent-field arithmetic. The
+	// window test guarantees k+bias is in (0, 0x7FF), so this cannot
+	// hit the denormal or overflow branches the scalar code carries.
+	VPMOVSXDQ X1, Y1
+	VPADDQ vexp<>+VBIAS(SB), Y1, Y1
+	VPSLLQ $52, Y1, Y1
+	VMULPD Y1, Y0, Y0
+
+	VMOVUPD Y0, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  loop
+
+done:
+	VZEROUPPER
+	MOVQ AX, ret+24(FP)
+	RET
+
+// func cpuidLeaf(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidLeaf(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

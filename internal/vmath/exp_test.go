@@ -1,0 +1,127 @@
+package vmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestExpSliceBitIdentical is the foundation of the batch engine's
+// byte-equality guarantee: ExpSlice must agree with math.Exp to the
+// bit on every input class — the clamped sigmoid range the hot path
+// actually uses, the full in-window range, window boundaries, and the
+// out-of-window/special values that force the scalar fallback.
+func TestExpSliceBitIdentical(t *testing.T) {
+	t.Logf("vector kernel enabled: %v", HaveVec)
+
+	check := func(t *testing.T, src []float64) {
+		t.Helper()
+		dst := make([]float64, len(src))
+		ExpSlice(dst, src)
+		for i, x := range src {
+			want := math.Exp(x)
+			if math.Float64bits(dst[i]) != math.Float64bits(want) {
+				t.Fatalf("ExpSlice(%v) = %v (bits %016x), math.Exp = %v (bits %016x) at index %d",
+					x, dst[i], math.Float64bits(dst[i]), want, math.Float64bits(want), i)
+			}
+		}
+	}
+
+	t.Run("sigmoid-range", func(t *testing.T) {
+		// The sigmoid clamps its argument to [-60, 60]; sweep it densely.
+		src := make([]float64, 0, 48001)
+		for x := -60.0; x <= 60.0; x += 0.0025 {
+			src = append(src, x)
+		}
+		check(t, src)
+	})
+
+	t.Run("random-window", func(t *testing.T) {
+		rnd := rand.New(rand.NewSource(61))
+		src := make([]float64, 1<<16)
+		for i := range src {
+			src[i] = (rnd.Float64()*2 - 1) * 690
+		}
+		check(t, src)
+	})
+
+	t.Run("boundaries", func(t *testing.T) {
+		check(t, []float64{
+			-690, 690, math.Nextafter(-690, 0), math.Nextafter(690, 0),
+			math.Nextafter(-690, -1000), math.Nextafter(690, 1000),
+			0, math.Copysign(0, -1), 1, -1, math.Ln2, -math.Ln2,
+			690.5, -690.5, 700, -700, 709.78, 710, -745, -746,
+		})
+	})
+
+	t.Run("specials", func(t *testing.T) {
+		check(t, []float64{
+			math.Inf(1), math.Inf(-1), math.NaN(),
+			math.MaxFloat64, -math.MaxFloat64,
+			math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		})
+	})
+
+	t.Run("mixed-forces-fallback", func(t *testing.T) {
+		// Out-of-window lanes scattered mid-slice: the kernel must stop
+		// at the offending group and the scalar tail must still match.
+		rnd := rand.New(rand.NewSource(62))
+		src := make([]float64, 513)
+		for i := range src {
+			src[i] = (rnd.Float64()*2 - 1) * 50
+		}
+		src[97] = 1e6
+		src[98] = math.NaN()
+		src[511] = math.Inf(-1)
+		check(t, src)
+	})
+
+	t.Run("short-slices", func(t *testing.T) {
+		for n := 0; n <= 9; n++ {
+			src := make([]float64, n)
+			for i := range src {
+				src[i] = float64(i)*1.7 - 5
+			}
+			check(t, src)
+		}
+	})
+}
+
+func TestExpSliceDstShort(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExpSlice with short dst did not panic")
+		}
+	}()
+	ExpSlice(make([]float64, 3), make([]float64, 4))
+}
+
+func BenchmarkExpSlice(b *testing.B) {
+	src := make([]float64, 256)
+	dst := make([]float64, 256)
+	rnd := rand.New(rand.NewSource(7))
+	for i := range src {
+		src[i] = (rnd.Float64()*2 - 1) * 60
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExpSlice(dst, src)
+	}
+}
+
+func BenchmarkExpScalarLoop(b *testing.B) {
+	src := make([]float64, 256)
+	dst := make([]float64, 256)
+	rnd := rand.New(rand.NewSource(7))
+	for i := range src {
+		src[i] = (rnd.Float64()*2 - 1) * 60
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, x := range src {
+			dst[j] = math.Exp(x)
+		}
+	}
+}

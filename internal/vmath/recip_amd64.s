@@ -1,0 +1,41 @@
+// 4-lane sigmoid finish: dst[i] = 1 / (1 + src[i]). Unlike the exp
+// and sincos kernels this one needs no argument window: IEEE-754
+// addition and division are correctly rounded operations, VADDPD and
+// VDIVPD implement exactly them, and in 1+x / 1/(1+x) at most one
+// operand of each op can be NaN (the constant 1 never is), so NaN
+// propagation is unambiguous too. The kernel therefore handles every
+// leading 4-group unconditionally; only the sub-4 tail is left to the
+// caller's scalar loop.
+
+#include "textflag.h"
+
+DATA vrecip<>+0(SB)/8, $0x3FF0000000000000
+DATA vrecip<>+8(SB)/8, $0x3FF0000000000000
+DATA vrecip<>+16(SB)/8, $0x3FF0000000000000
+DATA vrecip<>+24(SB)/8, $0x3FF0000000000000
+GLOBL vrecip<>(SB), RODATA|NOPTR, $32
+
+// func recip1pVec(dst, src *float64, n int) int
+TEXT ·recip1pVec(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	XORQ AX, AX
+	VMOVUPD vrecip<>+0(SB), Y1 // 1.0 ×4
+	SUBQ $3, CX                // full 4-groups exist while AX < n-3
+	JLE  done
+
+loop:
+	CMPQ AX, CX
+	JGE  done
+	VMOVUPD (SI)(AX*8), Y0
+	VADDPD  Y0, Y1, Y0 // 1 + x
+	VDIVPD  Y0, Y1, Y0 // 1 / (1 + x)
+	VMOVUPD Y0, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  loop
+
+done:
+	VZEROUPPER
+	MOVQ AX, ret+24(FP)
+	RET

@@ -1,0 +1,108 @@
+package vmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestRecip1pSliceBitIdentical pins the windowless sigmoid-finish
+// kernel to the scalar expression on ordinary values, the exp-output
+// range it actually sees (positive e^x), and every special: NaN, ±Inf,
+// signed zeros, and -1 (division by zero → +Inf).
+func TestRecip1pSliceBitIdentical(t *testing.T) {
+	t.Logf("vector kernel enabled: %v", HaveVec)
+
+	check := func(t *testing.T, src []float64) {
+		t.Helper()
+		dst := make([]float64, len(src))
+		Recip1pSlice(dst, src)
+		for i, x := range src {
+			want := 1 / (1 + x)
+			if math.Float64bits(dst[i]) != math.Float64bits(want) {
+				t.Fatalf("recip1p(%v) = %v (bits %016x), scalar = %v (bits %016x) at index %d",
+					x, dst[i], math.Float64bits(dst[i]), want, math.Float64bits(want), i)
+			}
+		}
+	}
+
+	t.Run("exp-range", func(t *testing.T) {
+		// The batch engine feeds it e^(-clamp(5·pre)) ∈ (0, e^60].
+		rnd := rand.New(rand.NewSource(5))
+		src := make([]float64, 1<<14)
+		for i := range src {
+			src[i] = math.Exp((rnd.Float64()*2 - 1) * 60)
+		}
+		check(t, src)
+	})
+
+	t.Run("dense-sweep", func(t *testing.T) {
+		src := make([]float64, 0, 40001)
+		for x := -2.0; x <= 2.0; x += 0.0001 {
+			src = append(src, x)
+		}
+		check(t, src)
+	})
+
+	t.Run("specials", func(t *testing.T) {
+		check(t, []float64{
+			math.NaN(), math.Inf(1), math.Inf(-1),
+			0, math.Copysign(0, -1), -1, // -1 → 1/+0 = +Inf
+			math.Nextafter(-1, 0), math.Nextafter(-1, -2),
+			math.MaxFloat64, -math.MaxFloat64,
+			math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		})
+	})
+
+	t.Run("short-slices", func(t *testing.T) {
+		for n := 0; n <= 9; n++ {
+			src := make([]float64, n)
+			for i := range src {
+				src[i] = float64(i)*0.3 - 1.2
+			}
+			check(t, src)
+		}
+	})
+}
+
+func TestRecip1pSliceDstShort(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Recip1pSlice with short dst did not panic")
+		}
+	}()
+	Recip1pSlice(make([]float64, 3), make([]float64, 4))
+}
+
+func BenchmarkRecip1pSlice(b *testing.B) {
+	src := make([]float64, 256)
+	dst := make([]float64, 256)
+	rnd := rand.New(rand.NewSource(9))
+	for i := range src {
+		src[i] = rnd.Float64() * 4
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Recip1pSlice(dst, src)
+	}
+}
+
+var recipSink float64
+
+func BenchmarkRecip1pScalarLoop(b *testing.B) {
+	src := make([]float64, 256)
+	dst := make([]float64, 256)
+	rnd := rand.New(rand.NewSource(9))
+	for i := range src {
+		src[i] = rnd.Float64() * 4
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, x := range src {
+			dst[j] = 1 / (1 + x)
+		}
+		recipSink = dst[255] // keep the divides observable
+	}
+}

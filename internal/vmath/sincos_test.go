@@ -1,0 +1,141 @@
+package vmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSinCosSliceBitIdentical pins the fused kernel to the stdlib
+// scalars on every input class: the octant-zero window the vector path
+// owns, its exact boundaries, signed zeros (whose sin sign must
+// survive), and the out-of-window/special values that force the scalar
+// fallback.
+func TestSinCosSliceBitIdentical(t *testing.T) {
+	t.Logf("vector kernel enabled: %v", HaveVec)
+
+	check := func(t *testing.T, src []float64) {
+		t.Helper()
+		sinDst := make([]float64, len(src))
+		cosDst := make([]float64, len(src))
+		SinCosSlice(sinDst, cosDst, src)
+		for i, x := range src {
+			ws, wc := math.Sin(x), math.Cos(x)
+			if math.Float64bits(sinDst[i]) != math.Float64bits(ws) {
+				t.Fatalf("sin(%v) = %v (bits %016x), math.Sin = %v (bits %016x) at index %d",
+					x, sinDst[i], math.Float64bits(sinDst[i]), ws, math.Float64bits(ws), i)
+			}
+			if math.Float64bits(cosDst[i]) != math.Float64bits(wc) {
+				t.Fatalf("cos(%v) = %v (bits %016x), math.Cos = %v (bits %016x) at index %d",
+					x, cosDst[i], math.Float64bits(cosDst[i]), wc, math.Float64bits(wc), i)
+			}
+		}
+	}
+
+	t.Run("cartpole-range", func(t *testing.T) {
+		// The batch stepper feeds pole angles; sweep their realistic
+		// band densely, both signs.
+		src := make([]float64, 0, 100001)
+		for x := -0.25; x <= 0.25; x += 0.000005 {
+			src = append(src, x)
+		}
+		check(t, src)
+	})
+
+	t.Run("random-window", func(t *testing.T) {
+		rnd := rand.New(rand.NewSource(71))
+		src := make([]float64, 1<<16)
+		for i := range src {
+			src[i] = (rnd.Float64()*2 - 1) * (math.Pi / 4)
+		}
+		check(t, src)
+	})
+
+	t.Run("boundaries", func(t *testing.T) {
+		q := math.Pi / 4
+		check(t, []float64{
+			q, -q, math.Nextafter(q, 0), math.Nextafter(-q, 0),
+			math.Nextafter(q, 1), math.Nextafter(-q, -1),
+			math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+			0.5, -0.5, 0.75, -0.75, 0.8, -0.8,
+		})
+	})
+
+	t.Run("signed-zeros", func(t *testing.T) {
+		// math.Sin(±0) = ±0; the window must push zeros to the scalar
+		// path so the -0 sign is preserved.
+		check(t, []float64{0, math.Copysign(0, -1), 0.1, math.Copysign(0, -1), 0, 0.2, -0.3, 0.4})
+	})
+
+	t.Run("specials", func(t *testing.T) {
+		check(t, []float64{
+			math.Inf(1), math.Inf(-1), math.NaN(),
+			1, -1, math.Pi, -math.Pi, 100, -100, 1e9, 1e18,
+		})
+	})
+
+	t.Run("mixed-forces-fallback", func(t *testing.T) {
+		rnd := rand.New(rand.NewSource(72))
+		src := make([]float64, 513)
+		for i := range src {
+			src[i] = (rnd.Float64()*2 - 1) * 0.7
+		}
+		src[97] = 2.5
+		src[98] = math.NaN()
+		src[200] = math.Copysign(0, -1)
+		src[511] = math.Inf(1)
+		check(t, src)
+	})
+
+	t.Run("short-slices", func(t *testing.T) {
+		for n := 0; n <= 9; n++ {
+			src := make([]float64, n)
+			for i := range src {
+				src[i] = float64(i)*0.09 - 0.3
+			}
+			check(t, src)
+		}
+	})
+}
+
+func TestSinCosSliceDstShort(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SinCosSlice with short dst did not panic")
+		}
+	}()
+	SinCosSlice(make([]float64, 3), make([]float64, 4), make([]float64, 4))
+}
+
+func BenchmarkSinCosSlice(b *testing.B) {
+	src := make([]float64, 256)
+	sinDst := make([]float64, 256)
+	cosDst := make([]float64, 256)
+	rnd := rand.New(rand.NewSource(9))
+	for i := range src {
+		src[i] = (rnd.Float64()*2 - 1) * 0.2
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SinCosSlice(sinDst, cosDst, src)
+	}
+}
+
+func BenchmarkSinCosScalarLoop(b *testing.B) {
+	src := make([]float64, 256)
+	sinDst := make([]float64, 256)
+	cosDst := make([]float64, 256)
+	rnd := rand.New(rand.NewSource(9))
+	for i := range src {
+		src[i] = (rnd.Float64()*2 - 1) * 0.2
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, x := range src {
+			sinDst[j] = math.Sin(x)
+			cosDst[j] = math.Cos(x)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Package vmath holds the 4-lane AVX2+FMA vector kernels the batch
+// evaluation engine leans on. Every kernel is bit-identical to its
+// math-package scalar: it mirrors the exact instruction-level rounding
+// sequence of the stdlib implementation for arguments inside a fast
+// window, and declines anything else to a scalar fallback. That
+// property is what lets the batch engine promise byte-equal results to
+// the serial reference path while still vectorizing the transcendental
+// hot spots (sigmoid exp, cartpole sin/cos).
+package vmath
+
+import "math"
+
+// ExpSlice computes dst[i] = math.Exp(src[i]) for every i. On hosts
+// with AVX2+FMA it runs a 4-lane vector kernel that mirrors the exact
+// FMA instruction sequence of math.Exp's assembly path, so the results
+// are bit-identical to calling math.Exp per element. Elements the
+// vector kernel declines (trailing partial group, or anything at and
+// after the first group with a lane outside [-690, 690]) fall back to
+// math.Exp itself.
+func ExpSlice(dst, src []float64) {
+	if len(dst) < len(src) {
+		panic("vmath: ExpSlice dst shorter than src")
+	}
+	i := expVecAccel(dst, src)
+	for ; i < len(src); i++ {
+		dst[i] = math.Exp(src[i])
+	}
+}
+
+// Recip1pSlice computes dst[i] = 1 / (1 + src[i]) for every i — the
+// sigmoid finish. This kernel needs no window: addition and division
+// are correctly rounded IEEE-754 operations and the constant 1 is
+// never NaN, so the 4-lane vector path is bit-identical to the scalar
+// expression for every input, including NaN and ±Inf. Only the sub-4
+// tail runs the scalar loop.
+func Recip1pSlice(dst, src []float64) {
+	if len(dst) < len(src) {
+		panic("vmath: Recip1pSlice dst shorter than src")
+	}
+	i := recip1pAccel(dst, src)
+	for ; i < len(src); i++ {
+		dst[i] = 1 / (1 + src[i])
+	}
+}
+
+// SinCosSlice computes sinDst[i], cosDst[i] = math.Sin(src[i]),
+// math.Cos(src[i]) for every i. The vector kernel handles lanes with
+// 0 < |x| < π/4 — the octant-zero window where the stdlib reduction is
+// the identity and both functions are one straight-line polynomial —
+// and performs exactly those polynomial operations, so results are
+// bit-identical. Lanes at and after the first group outside the window
+// (including ±0, whose sign math.Sin preserves, and NaN/Inf) fall back
+// to the stdlib scalars.
+func SinCosSlice(sinDst, cosDst, src []float64) {
+	if len(sinDst) < len(src) || len(cosDst) < len(src) {
+		panic("vmath: SinCosSlice dst shorter than src")
+	}
+	i := sinCosVecAccel(sinDst, cosDst, src)
+	for ; i < len(src); i++ {
+		sinDst[i] = math.Sin(src[i])
+		cosDst[i] = math.Cos(src[i])
+	}
+}

@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package vmath
+
+// HaveVec is false off amd64: the slice helpers run their scalar
+// loops, which are trivially bit-identical to the stdlib.
+var HaveVec = false
+
+func expVecAccel(dst, src []float64) int { return 0 }
+
+func sinCosVecAccel(sinDst, cosDst, src []float64) int { return 0 }
+
+func recip1pAccel(dst, src []float64) int { return 0 }

@@ -2,14 +2,16 @@
 # bench.sh — the repository's perf-trajectory harness.
 #
 # Runs the compiled-kernel microbenches (compile, feed, full-generation
-# evaluation), the replay-layer benches (one SoC generation, one EvE
+# evaluation — the NetworkFeed/EvaluateGeneration patterns also match
+# their Batch/Scalar variants, so the tensorized engine and the scalar
+# reference are recorded side by side), the replay-layer benches (one SoC generation, one EvE
 # trace replay), the serving-layer throughput bench (jobs/sec through a
 # real genesysd over loopback HTTP, serial vs parallel worker pool),
 # and, unless BENCH_QUICK=1, the full-suite harness bench plus the root
 # figure-regeneration benches, then renders everything into a
 # machine-readable trajectory record via cmd/benchjson:
 #
-#	scripts/bench.sh                 # full run, writes BENCH_PR5.json
+#	scripts/bench.sh                 # full run, writes BENCH_PR6.json
 #	BENCH_QUICK=1 scripts/bench.sh   # kernel + replay + serve microbenches only
 #
 # The JSON carries ns/op, B/op, allocs/op and custom figure metrics for
@@ -19,7 +21,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_PR5.json}
+out=${BENCH_OUT:-BENCH_PR6.json}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 

@@ -34,9 +34,12 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (evolve, network, hw, experiments, serve)"
-go test -race ./internal/evolve/... ./internal/network/... ./internal/hw/... \
-    ./internal/experiments/... ./internal/serve/...
+echo "== go test -race (evolve, network, env, hw, experiments, serve)"
+# env is in the race set since the batch engine: BatchEnv lane state is
+# advanced by evaluation workers whose batch tests (network batch
+# differential, env lockstep, evolve batch-vs-serial) all run here.
+go test -race ./internal/evolve/... ./internal/network/... ./internal/env/... \
+    ./internal/hw/... ./internal/experiments/... ./internal/serve/...
 
 echo "== genesysd smoke (real binaries, ephemeral port)"
 smokedir=$(mktemp -d)
@@ -65,7 +68,10 @@ kill -TERM "$daemon"
 wait "$daemon" || { echo "genesysd exited non-zero on SIGTERM" >&2; exit 1; }
 rm -rf "$smokedir"
 
-echo "== bench smoke (kernel + replay trajectory benches, 1 iteration)"
+echo "== bench smoke (kernel + batch + replay trajectory benches, 1 iteration)"
+# The NetworkFeed/EvaluateGeneration patterns are prefixes, so the
+# batch-engine variants (BenchmarkNetworkFeedBatch,
+# BenchmarkEvaluateGenerationBatch/Scalar) smoke here too.
 go test -run=NONE -bench='BenchmarkNetworkCompile|BenchmarkNetworkFeed' \
     -benchtime=1x ./internal/network/
 go test -run=NONE -bench='BenchmarkEvaluateGeneration' \
