@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/hw/hwsim"
 	"repro/internal/serve"
@@ -68,8 +69,8 @@ func watchJob(ctx context.Context, c *serve.Client, id string) {
 	if err != nil {
 		die(err)
 	}
-	fmt.Printf("%s: %s solved=%v generations=%d best=%.2f\n",
-		final.ID, final.State, final.Solved, final.Generations, final.BestFitness)
+	fmt.Printf("%s: %s solved=%v generations=%d best=%.2f stored=%v\n",
+		final.ID, final.State, final.Solved, final.Generations, final.BestFitness, final.Stored)
 	if final.State == serve.StateFailed {
 		os.Exit(1)
 	}
@@ -78,12 +79,21 @@ func watchJob(ctx context.Context, c *serve.Client, id string) {
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8177", "genesysd base URL")
 	client := flag.String("client", "genesysctl", "client identity for the per-client cap")
+	retries := flag.Int("retries", 4, "total request attempts on 429/transport errors (1 = no retry)")
+	retryBase := flag.Duration("retry-base", 200*time.Millisecond, "first retry backoff; doubles per attempt, capped at 5s")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 	}
-	c := &serve.Client{Base: *addr, Name: *client}
+	c := &serve.Client{
+		Base: *addr,
+		Name: *client,
+		Retry: serve.RetryPolicy{
+			MaxAttempts: *retries,
+			BaseDelay:   *retryBase,
+		},
+	}
 
 	// Ctrl-C / SIGTERM abort in-flight requests and watches.
 	ctx, stop := signalctx.Notify(context.Background())

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/serve"
 	"repro/internal/serve/signalctx"
+	"repro/internal/store"
 )
 
 func main() {
@@ -43,6 +44,12 @@ func main() {
 		ckptDir    = flag.String("checkpoint-dir", "", "directory for job checkpoints; interrupted jobs resume on resubmission")
 		ckptEvery  = flag.Int("checkpoint-every", 5, "periodic checkpoint interval in generations (with -checkpoint-dir)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long running jobs may finish after SIGTERM before being checkpointed and cancelled")
+
+		storeDir      = flag.String("store-dir", "", "persistent run-store root; completed results survive restarts and replay without re-evolving")
+		storeMaxBytes = flag.Int64("store-max-bytes", 0, "run-store size budget for GC, LRU eviction past it (0 = unbounded)")
+		storeMaxAge   = flag.Duration("store-max-age", 0, "evict run-store artifacts older than this on GC (0 = no age limit)")
+		ckptMaxAge    = flag.Duration("checkpoint-max-age", 24*time.Hour, "GC sweeps checkpoints older than this (0 = keep forever)")
+		storeGCEvery  = flag.Duration("store-gc-every", 10*time.Minute, "periodic run-store GC interval (0 = on-demand only via POST /store/gc)")
 	)
 	flag.Parse()
 
@@ -75,6 +82,24 @@ func main() {
 		}()
 	}
 
+	// The persistent run store survives daemon restarts: completed
+	// results replay from disk without re-evolving, and interrupted
+	// jobs are re-enqueued from their orphaned checkpoints on boot.
+	var runStore *store.Store
+	if *storeDir != "" {
+		runStore, err = store.Open(store.Config{
+			Root:             *storeDir,
+			MaxBytes:         *storeMaxBytes,
+			MaxAge:           *storeMaxAge,
+			CheckpointDir:    *ckptDir,
+			CheckpointMaxAge: *ckptMaxAge,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genesysd: store:", err)
+			os.Exit(1)
+		}
+	}
+
 	sched := serve.NewScheduler(serve.Config{
 		MaxRunning:        *maxRunning,
 		MaxQueue:          *queue,
@@ -83,8 +108,25 @@ func main() {
 		RunnerBatchWidth:  *batchWidth,
 		CheckpointDir:     *ckptDir,
 		CheckpointEvery:   *ckptEvery,
+		Store:             runStore,
 	})
 	srv := &http.Server{Handler: serve.NewServer(sched)}
+
+	if runStore != nil {
+		rep, requeued := sched.Recover()
+		fmt.Printf("genesysd: store %s: %d verified, %d quarantined, %d tmp swept, %d checkpoints swept, %d interrupted (%d re-enqueued)\n",
+			*storeDir, rep.Verified, rep.Quarantined, rep.TmpSwept, rep.CheckpointsSwept,
+			len(rep.Interrupted), len(requeued))
+		if *storeGCEvery > 0 {
+			ticker := time.NewTicker(*storeGCEvery)
+			defer ticker.Stop()
+			go func() {
+				for range ticker.C {
+					runStore.GC()
+				}
+			}()
+		}
+	}
 
 	// SIGTERM (container stop) and SIGINT share one drain path: stop
 	// admitting, let running jobs finish or checkpoint, then exit.

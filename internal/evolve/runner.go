@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -661,7 +662,14 @@ func (r *Runner) RestoreCheckpoint(path string) error {
 		return err
 	}
 	defer f.Close()
-	pop, err := neat.Restore(f, r.seed)
+	return r.RestoreFrom(f)
+}
+
+// RestoreFrom is RestoreCheckpoint over any reader — the seam the
+// persistent run store uses to rehydrate a committed run's population
+// without a checkpoint file on disk.
+func (r *Runner) RestoreFrom(src io.Reader) error {
+	pop, err := neat.Restore(src, r.seed)
 	if err != nil {
 		return err
 	}

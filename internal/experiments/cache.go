@@ -119,6 +119,14 @@ var (
 	priceCache flightMap[runKey, *comparison]
 )
 
+// evolutionsRun counts actual evolution executions — bumped only when
+// a runner really runs, not when a cache miss is served from the
+// persistent store. runCache.computes keeps counting compute-closure
+// invocations (the singleflight accounting its tests pin); this
+// counter is the "did we pay for an evolution" ledger the durability
+// proof asserts stays flat across a disk replay.
+var evolutionsRun atomic.Int64
+
 // ResetCaches drops every memoized run, study, and comparison. A CLI
 // invocation never needs this; it exists for benchmarks and tests that
 // measure or compare cold-cache behavior within one process.
@@ -126,12 +134,14 @@ func ResetCaches() {
 	runCache.reset()
 	studyCache.reset()
 	priceCache.reset()
+	evolutionsRun.Store(0)
 }
 
 // evolutionsExecuted reports how many evolution computations ran since
 // the last reset: single runs plus studies (a study internally
 // executes its configured number of runs, but enters the pipeline as
-// one computation).
+// one computation). Runs replayed from the persistent store are not
+// executions and do not count.
 func evolutionsExecuted() int64 {
-	return runCache.computes.Load() + studyCache.computes.Load()
+	return evolutionsRun.Load() + studyCache.computes.Load()
 }

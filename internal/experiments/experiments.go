@@ -228,12 +228,23 @@ type evolved struct {
 // runWorkload returns the workload's evolved run, evolving it on the
 // first request and serving every later (or concurrent) request for
 // the same (workload, population, generations, seed, run) key from the
-// shared run cache. The returned run is shared: callers read its
-// history, population, and trace but must not mutate them (re-scoring
-// goes through evolve.Runner.ScoreGenome).
+// shared run cache. With a persistent store attached (UseStore) a
+// cache miss first tries the disk tier and commits what it computes.
+// The returned run is shared: callers read its history, population,
+// and trace but must not mutate them (re-scoring goes through
+// evolve.Runner.ScoreGenome).
 func runWorkload(workload string, opt Options, run int) (*evolved, error) {
-	return runCache.get(runKeyFor(workload, opt, run), func() (*evolved, error) {
-		return evolveWorkload(workload, opt, run)
+	key := runKeyFor(workload, opt, run)
+	return runCache.get(key, func() (*evolved, error) {
+		if e, ok := loadStored(key); ok {
+			return e, nil
+		}
+		e, err := evolveWorkload(workload, opt, run)
+		if err != nil {
+			return nil, err
+		}
+		commitStored(key, e)
+		return e, nil
 	})
 }
 
@@ -249,6 +260,7 @@ func evolveWorkload(workload string, opt Options, run int) (*evolved, error) {
 	r.BatchWidth = opt.BatchWidth
 	tr := &trace.Trace{}
 	r.SetRecorder(tr)
+	evolutionsRun.Add(1)
 	solved, err := r.Run(opt.ctx(), opt.gensFor(workload))
 	if err != nil {
 		return nil, err

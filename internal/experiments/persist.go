@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/evolve"
+	"repro/internal/neat"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// This file is the run cache's disk tier. When a persistent store is
+// attached (the daemon does this at boot), every single-run cache miss
+// first consults the store — a committed artifact rehydrates into the
+// same immutable (runner, trace, solved) entry an in-process evolution
+// would have produced — and every freshly computed run is committed
+// back. The in-memory singleflight layer stays authoritative for
+// request coalescing; the store only changes what a cold miss costs:
+// a disk read instead of an evolution.
+//
+// Artifact layout per run (under the store's integrity manifest):
+//
+//	history.json    — schema-stamped GenStats slice + solved/seed
+//	population.json — the final population in neat checkpoint format
+//	trace.txt       — the reproduction trace
+//
+// GenStats fields are float64/int64 and Go's JSON encoding of float64
+// is exact (shortest round-trip representation), so a replayed history
+// is byte-identical to the computed one after re-marshaling — the
+// property the durability test pins.
+
+// runSchema stamps history.json; a mismatch means the artifact was
+// written by an incompatible build and must recompute.
+const runSchema = "genesys-run/1"
+
+const (
+	historyFile    = "history.json"
+	populationFile = "population.json"
+	traceFile      = "trace.txt"
+)
+
+// historyDoc is the history.json payload.
+type historyDoc struct {
+	Schema  string            `json:"schema"`
+	Solved  bool              `json:"solved"`
+	Seed    uint64            `json:"seed"`
+	History []evolve.GenStats `json:"history"`
+}
+
+// activeStore is the attached disk tier (nil = memory-only, the
+// default for CLIs and tests).
+var activeStore atomic.Pointer[store.Store]
+
+// UseStore attaches (or with nil detaches) the persistent run store
+// the single-run cache reads through and writes back to.
+func UseStore(s *store.Store) { activeStore.Store(s) }
+
+// storeKeyFor maps a cache key to its store key (same tuple, exported
+// form).
+func storeKeyFor(k runKey) store.Key {
+	return store.Key{Workload: k.workload, Population: k.population, Generations: k.generations, Seed: k.seed}
+}
+
+// loadStored tries to rehydrate a run from the disk tier. Any failure
+// degrades to (nil, false): semantic decode errors additionally
+// quarantine the artifact so the recompute can commit a fresh one.
+func loadStored(k runKey) (*evolved, bool) {
+	s := activeStore.Load()
+	if s == nil {
+		return nil, false
+	}
+	key := storeKeyFor(k)
+	art, ok := s.Get(key)
+	if !ok {
+		return nil, false
+	}
+	e, err := decodeArtifact(k, art)
+	if err != nil {
+		// Bytes verified but the payload doesn't decode: as corrupt as a
+		// checksum mismatch, handled the same way.
+		s.QuarantineKey(key, fmt.Sprintf("decode: %v", err))
+		return nil, false
+	}
+	return e, true
+}
+
+// commitStored writes a freshly computed run to the disk tier
+// (best-effort: a commit failure only means the next cold process
+// recomputes).
+func commitStored(k runKey, e *evolved) {
+	s := activeStore.Load()
+	if s == nil {
+		return
+	}
+	doc := historyDoc{Schema: runSchema, Solved: e.solved, Seed: k.seed, History: e.runner.History}
+	history, err := json.Marshal(&doc)
+	if err != nil {
+		return
+	}
+	var pop bytes.Buffer
+	if err := e.runner.Pop.Save(&pop); err != nil {
+		return
+	}
+	var tr bytes.Buffer
+	if _, err := e.trace.WriteTo(&tr); err != nil {
+		return
+	}
+	var best float64
+	if n := len(e.runner.History); n > 0 {
+		best = e.runner.History[n-1].MaxFitness
+	}
+	s.Put(storeKeyFor(k),
+		store.Meta{Solved: e.solved, BestFitness: best, Generations: len(e.runner.History)},
+		map[string][]byte{historyFile: history, populationFile: pop.Bytes(), traceFile: tr.Bytes()})
+}
+
+// decodeArtifact rebuilds the immutable run entry from committed
+// payloads: the history replays verbatim, the population restores
+// through the checkpoint decoder (with full genome validation), and
+// the trace re-parses.
+func decodeArtifact(k runKey, art *store.Artifact) (*evolved, error) {
+	var doc historyDoc
+	if err := json.Unmarshal(art.Files[historyFile], &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", historyFile, err)
+	}
+	if doc.Schema != runSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", historyFile, doc.Schema, runSchema)
+	}
+	if doc.Seed != k.seed {
+		return nil, fmt.Errorf("%s: seed %d, want %d", historyFile, doc.Seed, k.seed)
+	}
+	cfg := neat.DefaultConfig(1, 1)
+	cfg.PopulationSize = k.population
+	r, err := evolve.NewRunner(k.workload, cfg, k.seed)
+	if err != nil {
+		return nil, err
+	}
+	tr := &trace.Trace{}
+	r.SetRecorder(tr)
+	if err := r.RestoreFrom(bytes.NewReader(art.Files[populationFile])); err != nil {
+		return nil, fmt.Errorf("%s: %w", populationFile, err)
+	}
+	parsed, err := trace.Parse(bytes.NewReader(art.Files[traceFile]))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", traceFile, err)
+	}
+	r.History = doc.History
+	r.ReleaseEvalState()
+	return &evolved{runner: r, trace: parsed, solved: doc.Solved}, nil
+}

@@ -81,6 +81,11 @@ type SharedRun struct {
 	// evolution; concurrent and later requests of the same key see
 	// false and share the first request's artifacts.
 	Computed bool
+	// Stored reports that this request's cache miss was served from the
+	// persistent store: a full history replay with no evolution
+	// executed. Like a memory hit it leaves Computed false, so callers
+	// replay Runner.History.
+	Stored bool
 }
 
 // RunShared resolves one evolution through the package's singleflight
@@ -98,9 +103,24 @@ func RunShared(req SharedRequest) (*SharedRun, error) {
 		RAMGenerations: req.Generations,
 	}
 	out := &SharedRun{}
-	e, err := runCache.get(runKeyFor(req.Workload, opt, 0), func() (*evolved, error) {
+	key := runKeyFor(req.Workload, opt, 0)
+	e, err := runCache.get(key, func() (*evolved, error) {
+		if se, ok := loadStored(key); ok {
+			out.Stored = true
+			return se, nil
+		}
 		out.Computed = true
-		return evolveSharedLocked(req, out)
+		e, cerr := evolveSharedLocked(req, out)
+		if cerr != nil {
+			return nil, cerr
+		}
+		// A resumed run's History covers only the post-restore
+		// generations (the SharedRun contract), so committing it would
+		// poison byte-identical replay; only uninterrupted runs persist.
+		if !out.Resumed {
+			commitStored(key, e)
+		}
+		return e, nil
 	})
 	if err != nil {
 		return nil, err
@@ -146,6 +166,7 @@ func evolveSharedLocked(req SharedRequest, out *SharedRun) (*evolved, error) {
 	if req.OnRunner != nil {
 		req.OnRunner(r)
 	}
+	evolutionsRun.Add(1)
 	solved, err := r.Run(ctx, req.Generations)
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -27,6 +28,10 @@ type Client struct {
 	HTTP *http.Client
 	// Name, when set, is sent as X-Genesys-Client on every request.
 	Name string
+	// Retry governs backoff on shed (429) responses and transient
+	// transport errors, and the Watch reconnect budget. The zero value
+	// never retries.
+	Retry RetryPolicy
 }
 
 func (c *Client) http() *http.Client {
@@ -79,16 +84,19 @@ func apiError(resp *http.Response) error {
 }
 
 func (c *Client) statusCall(ctx context.Context, method, path string, body any, want int) (Status, error) {
-	resp, err := c.do(ctx, method, path, body)
-	if err != nil {
-		return Status{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != want {
-		return Status{}, apiError(resp)
-	}
 	var st Status
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+	err := c.withRetry(ctx, func() error {
+		resp, err := c.do(ctx, method, path, body)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != want {
+			return apiError(resp)
+		}
+		return json.NewDecoder(resp.Body).Decode(&st)
+	})
+	if err != nil {
 		return Status{}, err
 	}
 	return st, nil
@@ -116,18 +124,21 @@ func (c *Client) Checkpoint(ctx context.Context, id string) (Status, error) {
 
 // List fetches every job in submission order.
 func (c *Client) List(ctx context.Context) ([]Status, error) {
-	resp, err := c.do(ctx, http.MethodGet, "/jobs", nil)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp)
-	}
 	var out struct {
 		Jobs []Status `json:"jobs"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	err := c.withRetry(ctx, func() error {
+		resp, err := c.do(ctx, http.MethodGet, "/jobs", nil)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return apiError(resp)
+		}
+		return json.NewDecoder(resp.Body).Decode(&out)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out.Jobs, nil
@@ -135,38 +146,120 @@ func (c *Client) List(ctx context.Context) ([]Status, error) {
 
 // Metrics fetches the daemon's counter registry snapshot.
 func (c *Client) Metrics(ctx context.Context) (hwsim.Report, error) {
-	resp, err := c.do(ctx, http.MethodGet, "/metrics", nil)
-	if err != nil {
-		return hwsim.Report{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return hwsim.Report{}, apiError(resp)
-	}
 	var rep hwsim.Report
-	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+	err := c.withRetry(ctx, func() error {
+		resp, err := c.do(ctx, http.MethodGet, "/metrics", nil)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return apiError(resp)
+		}
+		return json.NewDecoder(resp.Body).Decode(&rep)
+	})
+	if err != nil {
 		return hwsim.Report{}, err
 	}
 	return rep, nil
 }
 
+// watchAbort marks an error that must end the watch without a
+// reconnect: the caller's callback said stop, or an event failed to
+// decode.
+type watchAbort struct{ err error }
+
+func (e *watchAbort) Error() string { return e.err.Error() }
+func (e *watchAbort) Unwrap() error { return e.err }
+
+// watchDropped marks a mid-stream read failure — an established
+// subscription that died (daemon killed, connection reset). Always
+// worth a reconnect: the server replays history, the client skips
+// what it has seen.
+type watchDropped struct{ err error }
+
+func (e *watchDropped) Error() string { return e.err.Error() }
+func (e *watchDropped) Unwrap() error { return e.err }
+
 // Watch subscribes to a job's SSE stream, invoking fn (which may be
 // nil) for every generation record — history replay included — and
 // returns the job's terminal status from the final done event. A
 // non-nil error from fn aborts the watch.
+//
+// A dropped stream (daemon restart, broken connection, clean EOF
+// before the job finished) reconnects under the client's RetryPolicy
+// and resumes from the last-seen event: the server replays the full
+// history on every subscription, and the client skips the records it
+// already delivered, so fn sees each generation exactly once across
+// any number of reconnects. Progress resets the attempt budget —
+// only consecutive fruitless reconnects exhaust it.
 func (c *Client) Watch(ctx context.Context, id string, fn func(hwsim.Record) error) (Status, error) {
+	pol := c.Retry.withDefaults()
+	attempts := pol.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	seen, failures := 0, 0
+	for {
+		before := seen
+		final, err := c.watchOnce(ctx, id, fn, &seen)
+		if err != nil {
+			var abort *watchAbort
+			if errors.As(err, &abort) {
+				return Status{}, abort.err
+			}
+			var dropped *watchDropped
+			if !errors.As(err, &dropped) && !retryable(ctx, err) {
+				return Status{}, err
+			}
+			if ctx.Err() != nil {
+				return Status{}, err
+			}
+		} else if final != nil {
+			return *final, nil
+		} else {
+			// Clean EOF without a done event: a drained daemon ends
+			// streams after the job is already terminal — fetch the
+			// status; if the job really is finished there is nothing to
+			// reconnect for.
+			if st, jerr := c.Job(ctx, id); jerr == nil && st.State.Terminal() {
+				return st, nil
+			}
+		}
+		if seen > before {
+			failures = 0
+		}
+		failures++
+		if failures >= attempts {
+			if err != nil {
+				return Status{}, err
+			}
+			return c.Job(ctx, id)
+		}
+		if serr := pol.sleep(ctx, pol.delay(failures, err)); serr != nil {
+			return Status{}, serr
+		}
+	}
+}
+
+// watchOnce runs one SSE subscription. It bumps *seen past every
+// generation event it observes and invokes fn only for events beyond
+// the initial *seen — the resume-from-counter contract reconnects rely
+// on. Returns the terminal status if a done event arrived, nil on a
+// dropped stream.
+func (c *Client) watchOnce(ctx context.Context, id string, fn func(hwsim.Record) error, seen *int) (*Status, error) {
 	resp, err := c.do(ctx, http.MethodGet, "/jobs/"+id+"/events", nil)
 	if err != nil {
-		return Status{}, err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return Status{}, apiError(resp)
+		return nil, apiError(resp)
 	}
 
 	var event string
 	var data bytes.Buffer
-	var final *Status
+	events := 0
 	sc := bufio.NewScanner(resp.Body)
 	// Start small — SSE event lines are a few hundred bytes — and let
 	// the scanner grow toward the 1 MiB cap only if a line demands it.
@@ -185,35 +278,34 @@ func (c *Client) Watch(ctx context.Context, id string, fn func(hwsim.Record) err
 			// Dispatch boundary.
 			switch event {
 			case "generation":
-				if fn != nil {
-					var rec hwsim.Record
-					if err := json.Unmarshal(data.Bytes(), &rec); err != nil {
-						return Status{}, fmt.Errorf("bad generation event: %w", err)
-					}
-					if err := fn(rec); err != nil {
-						return Status{}, err
+				events++
+				if events > *seen {
+					*seen = events
+					if fn != nil {
+						var rec hwsim.Record
+						if err := json.Unmarshal(data.Bytes(), &rec); err != nil {
+							return nil, &watchAbort{fmt.Errorf("bad generation event: %w", err)}
+						}
+						if err := fn(rec); err != nil {
+							return nil, &watchAbort{err}
+						}
 					}
 				}
 			case "done":
 				var st Status
 				if err := json.Unmarshal(data.Bytes(), &st); err != nil {
-					return Status{}, fmt.Errorf("bad done event: %w", err)
+					return nil, &watchAbort{fmt.Errorf("bad done event: %w", err)}
 				}
-				final = &st
+				return &st, nil
 			}
 			event = ""
 			data.Reset()
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return Status{}, err
+		return nil, &watchDropped{err}
 	}
-	if final == nil {
-		// Stream ended without a done event (daemon shutdown mid-
-		// watch); fall back to a status fetch.
-		return c.Job(ctx, id)
-	}
-	return *final, nil
+	return nil, nil
 }
 
 // LoadSpec configures one load-generator sweep.

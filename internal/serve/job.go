@@ -103,6 +103,7 @@ type Job struct {
 	solved    bool
 	shared    bool // result came from the run cache, not a fresh execution
 	resumed   bool // fresh execution restored a checkpoint
+	stored    bool // cache miss was served from the persistent store
 	best      float64
 	gens      int
 	cancel    context.CancelFunc
@@ -121,6 +122,7 @@ type Status struct {
 	Solved      bool    `json:"solved,omitempty"`
 	Shared      bool    `json:"shared,omitempty"`
 	Resumed     bool    `json:"resumed,omitempty"`
+	Stored      bool    `json:"stored,omitempty"`
 	BestFitness float64 `json:"best_fitness,omitempty"`
 	Generations int     `json:"generations"`
 	CreatedMs   int64   `json:"created_unix_ms"`
@@ -140,6 +142,7 @@ func (j *Job) Status() Status {
 		Solved:      j.solved,
 		Shared:      j.shared,
 		Resumed:     j.resumed,
+		Stored:      j.stored,
 		BestFitness: j.best,
 		Generations: j.gens,
 		CreatedMs:   j.created.UnixMilli(),
@@ -216,11 +219,12 @@ func (j *Job) requestCancel() (wasQueued, wasRunning bool) {
 }
 
 // setOutcome records a finished run's result fields before finish.
-func (j *Job) setOutcome(solved, shared, resumed bool, best float64, gens int) {
+func (j *Job) setOutcome(solved, shared, resumed, stored bool, best float64, gens int) {
 	j.mu.Lock()
 	j.solved = solved
 	j.shared = shared
 	j.resumed = resumed
+	j.stored = stored
 	j.best = best
 	j.gens = gens
 	j.mu.Unlock()

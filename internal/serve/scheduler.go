@@ -30,6 +30,7 @@ import (
 	"repro/internal/evolve"
 	"repro/internal/experiments"
 	"repro/internal/hw/hwsim"
+	"repro/internal/store"
 )
 
 // Config tunes the scheduler. Zero values select the defaults.
@@ -60,6 +61,11 @@ type Config struct {
 	// CheckpointEvery is the periodic checkpoint interval in
 	// generations (with CheckpointDir); 0 means 5.
 	CheckpointEvery int
+	// Store, when set, is the persistent run store: completed jobs
+	// commit their results, identical submissions (from any process
+	// lifetime) replay from disk, Recover re-enqueues interrupted jobs
+	// at boot, and the /store admin surface exposes stats/GC/quarantine.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +159,12 @@ func NewScheduler(cfg Config) *Scheduler {
 	s.counters.Child("cache").OnSnapshot(func(c *hwsim.Counters) {
 		c.SetInt("evolutions_executed", experiments.EvolutionsExecuted())
 	})
+	if cfg.Store != nil {
+		// Attach the disk tier under the run cache and mount its
+		// counters into this daemon's /metrics tree.
+		experiments.UseStore(cfg.Store)
+		s.counters.Adopt(cfg.Store.Counters())
+	}
 	s.ctrStream.OnSnapshot(func(c *hwsim.Counters) {
 		s.mu.Lock()
 		var subs int64
@@ -336,6 +348,38 @@ func (s *Scheduler) Drain(grace time.Duration) {
 	s.cancelAll()
 }
 
+// Recover runs the store's startup-recovery pass and re-enqueues every
+// interrupted run as a fresh job under the "(recovery)" client: the
+// checkpoint file is found by name construction (both sides derive it
+// from the cache-key tuple), so each re-enqueued job resumes where the
+// crashed process stopped. Call after NewScheduler, before serving
+// traffic. No-op without a configured store.
+func (s *Scheduler) Recover() (store.RecoveryReport, []*Job) {
+	if s.cfg.Store == nil {
+		return store.RecoveryReport{}, nil
+	}
+	rep := s.cfg.Store.Recover()
+	jobs := make([]*Job, 0, len(rep.Interrupted))
+	for _, key := range rep.Interrupted {
+		j, err := s.Submit(Spec{
+			Workload:    key.Workload,
+			Population:  key.Population,
+			Generations: key.Generations,
+			Seed:        key.Seed,
+			Client:      "(recovery)",
+		})
+		if err != nil {
+			// Queue full or an unloadable workload: the checkpoint stays
+			// on disk and a later submission (or GC age-out) handles it.
+			s.ctrJobs.AddInt("recovery_skipped", 1)
+			continue
+		}
+		s.ctrJobs.AddInt("recovered", 1)
+		jobs = append(jobs, j)
+	}
+	return rep, jobs
+}
+
 // worker is one slot of the pool.
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
@@ -396,10 +440,13 @@ func (s *Scheduler) runJob(j *Job) {
 	case err != nil:
 		s.finishJob(j, StateFailed, err.Error())
 	default:
+		if res.Stored {
+			s.ctrJobs.AddInt("store_hits", 1)
+		}
 		if !res.Computed {
-			// Served from the run cache: replay the memoized history
-			// so this job's subscribers see the same record stream a
-			// fresh execution would have produced.
+			// Served from the run cache (memory or disk tier): replay
+			// the memoized history so this job's subscribers see the
+			// same record stream a fresh execution would have produced.
 			s.ctrJobs.AddInt("shared_cache", 1)
 			for _, st := range res.Runner.History {
 				sink.Record(hwsim.Record{
@@ -418,7 +465,7 @@ func (s *Scheduler) runJob(j *Job) {
 				best = st.MaxFitness
 			}
 		}
-		j.setOutcome(res.Solved, !res.Computed, res.Resumed, best, len(res.Runner.History))
+		j.setOutcome(res.Solved, !res.Computed, res.Resumed, res.Stored, best, len(res.Runner.History))
 		s.finishJob(j, StateDone, "")
 	}
 }

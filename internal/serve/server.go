@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +11,7 @@ import (
 	"strconv"
 
 	"repro/internal/hw/hwsim"
+	"repro/internal/store"
 )
 
 // Server is the genesysd HTTP surface over one Scheduler.
@@ -23,6 +26,15 @@ import (
 //	GET    /jobs/{id}/events     Server-Sent Events record stream
 //	GET    /metrics              the hwsim counter registry as JSON
 //	GET    /healthz              liveness + drain state
+//	GET    /store                persistent run-store stats
+//	POST   /store/gc             run one GC pass, return its accounting
+//	GET    /store/quarantine     list quarantined artifacts
+//	DELETE /store/quarantine     purge the quarantine
+//
+// Terminal job results are immutable (a done job never changes), so
+// GET /jobs/{id} carries an ETag once terminal and honors
+// If-None-Match with 304 — real HTTP caching semantics for the result
+// a client polls. The /store routes 404 when no store is configured.
 //
 // Admission failures: 429 (+ Retry-After seconds) when shed over the
 // queue depth or per-client cap, 503 while draining, 400 for invalid
@@ -43,6 +55,10 @@ func NewServer(sched *Scheduler) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /store", s.handleStoreStats)
+	s.mux.HandleFunc("POST /store/gc", s.handleStoreGC)
+	s.mux.HandleFunc("GET /store/quarantine", s.handleStoreQuarantine)
+	s.mux.HandleFunc("DELETE /store/quarantine", s.handleStorePurge)
 	return s
 }
 
@@ -118,7 +134,28 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
 		return
 	}
-	writeJSON(w, http.StatusOK, j.Status())
+	st := j.Status()
+	if !st.State.Terminal() {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	// Terminal results never change: serve them with a strong ETag so a
+	// polling client's revalidation costs one 304 instead of a body.
+	body, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	sum := sha256.Sum256(body)
+	etag := `"` + hex.EncodeToString(sum[:16]) + `"`
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(append(body, '\n'))
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -157,6 +194,54 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Status   string `json:"status"`
 		Draining bool   `json:"draining"`
 	}{Status: "ok", Draining: draining})
+}
+
+// handleStoreStats serves the persistent store's stats snapshot.
+func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+	st := s.sched.cfg.Store
+	if st == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no store configured"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st.Stats())
+}
+
+// handleStoreGC runs one GC pass on demand.
+func (s *Server) handleStoreGC(w http.ResponseWriter, r *http.Request) {
+	st := s.sched.cfg.Store
+	if st == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no store configured"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st.GC())
+}
+
+// handleStoreQuarantine lists quarantined artifacts.
+func (s *Server) handleStoreQuarantine(w http.ResponseWriter, r *http.Request) {
+	st := s.sched.cfg.Store
+	if st == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no store configured"})
+		return
+	}
+	entries := st.Quarantined()
+	if entries == nil {
+		entries = []store.QuarantineEntry{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Quarantine []store.QuarantineEntry `json:"quarantine"`
+	}{Quarantine: entries})
+}
+
+// handleStorePurge deletes every quarantined artifact.
+func (s *Server) handleStorePurge(w http.ResponseWriter, r *http.Request) {
+	st := s.sched.cfg.Store
+	if st == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no store configured"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Purged int `json:"purged"`
+	}{Purged: st.PurgeQuarantine()})
 }
 
 // handleEvents streams a job's records as Server-Sent Events:

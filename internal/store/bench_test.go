@@ -1,0 +1,50 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkStoreHitThroughput measures the verified read path — the
+// hot loop of a warm daemon where most submissions replay from disk.
+// One artifact shaped like a real committed run (~64 KiB history +
+// population + trace), read and checksum-verified per iteration.
+func BenchmarkStoreHitThroughput(b *testing.B) {
+	s, err := Open(Config{Root: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := Key{Workload: "cartpole", Population: 64, Generations: 30, Seed: 42}
+	history := make([]byte, 0, 48<<10)
+	for g := 0; len(history) < 48<<10; g++ {
+		history = append(history, fmt.Sprintf(`{"generation":%d,"best_fitness":%f,"mean_fitness":%f,"species":%d}`+"\n",
+			g, float64(g)*1.618, float64(g)*0.577, 5+g%7)...)
+	}
+	population := make([]byte, 12<<10)
+	for i := range population {
+		population[i] = byte('a' + i%26)
+	}
+	files := map[string][]byte{
+		"history.json":    history,
+		"population.json": population,
+		"trace.txt":       []byte("G 0\nP 1 2\nC 3 4\n"),
+	}
+	if err := s.Put(key, Meta{Solved: true, BestFitness: 199, Generations: 30}, files); err != nil {
+		b.Fatal(err)
+	}
+	var total int64
+	for _, data := range files {
+		total += int64(len(data))
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		art, ok := s.Get(key)
+		if !ok {
+			b.Fatal("miss")
+		}
+		if len(art.Files) != 3 {
+			b.Fatal("short read")
+		}
+	}
+}

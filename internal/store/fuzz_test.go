@@ -1,0 +1,94 @@
+package store
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzManifest feeds arbitrary bytes to the manifest decoder — the one
+// store input a crashed or hostile writer controls. The contract is
+// the quarantine path's foundation: never panic, and anything accepted
+// is internally consistent enough to drive verification.
+func FuzzManifest(f *testing.F) {
+	valid, _ := json.Marshal(&manifest{
+		Schema: Schema,
+		Key:    Key{Workload: "cartpole", Population: 64, Generations: 30, Seed: 42},
+		Meta:   Meta{Solved: true, BestFitness: 1.5, Generations: 12},
+		Files: []fileEntry{{
+			Name:   "history.json",
+			SHA256: "9f86d081884c7d659a2feaa0c55ad015a3bf4f1b2b0b822cd15d6c15b0f00a08",
+			Size:   3,
+		}},
+	})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // torn write
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"schema":"genesys-store/1"}`))
+	f.Add([]byte(`{"schema":"genesys-store/1","key":{"workload":"x","population":1,"generations":1},"files":[]}`))
+	f.Add([]byte(`{"schema":"genesys-store/1","key":{"workload":"x","population":1,"generations":1},"files":[{"name":"../evil","sha256":"00","size":-1}]}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte("\x00\xff\xfe"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeManifest(data)
+		if err != nil {
+			return
+		}
+		// Accepted manifests must satisfy the invariants verification
+		// relies on.
+		if m.Schema != Schema {
+			t.Fatalf("accepted schema %q", m.Schema)
+		}
+		if err := m.Key.validate(); err != nil {
+			t.Fatalf("accepted invalid key: %v", err)
+		}
+		if len(m.Files) == 0 {
+			t.Fatal("accepted empty file list")
+		}
+		seen := map[string]bool{}
+		for _, fe := range m.Files {
+			if fe.Name == "" || fe.Name == manifestFile || seen[fe.Name] {
+				t.Fatalf("accepted bad/duplicate file name %q", fe.Name)
+			}
+			seen[fe.Name] = true
+			if fe.Size < 0 || len(fe.SHA256) != 64 {
+				t.Fatalf("accepted bad entry %+v", fe)
+			}
+		}
+		// And re-encoding must round-trip through the decoder.
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if _, err := decodeManifest(out); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+	})
+}
+
+// FuzzCheckpointKey pins ParseKeyFilename: arbitrary directory entries
+// (recovery scans them) never panic, and anything accepted round-trips
+// to its canonical name.
+func FuzzCheckpointKey(f *testing.F) {
+	f.Add("cartpole-p64-g30-s42.ckpt")
+	f.Add("alien-ram-p30-g8-s9001")
+	f.Add("x-p2-g3-s18446744073709551615")
+	f.Add("notes.txt")
+	f.Add("-p1-g1-s1")
+	f.Add("a-p-1-g1-s1")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, name string) {
+		k, ok := ParseKeyFilename(name)
+		if !ok {
+			return
+		}
+		want := name
+		if len(want) >= 5 && want[len(want)-5:] == ".ckpt" {
+			want = want[:len(want)-5]
+		}
+		if k.String() != want {
+			t.Fatalf("ParseKeyFilename(%q) = %+v does not round-trip: %q", name, k, k.String())
+		}
+	})
+}

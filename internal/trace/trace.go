@@ -15,6 +15,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"repro/internal/gene"
@@ -169,8 +170,16 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 		if err := emit("G %d %d\n", g.Index, g.PopulationGenes); err != nil {
 			return n, err
 		}
-		for id, sz := range g.ParentSizes {
-			if err := emit("P %d %d\n", id, sz); err != nil {
+		// Sorted parent ids: serialization is a pure function of the
+		// trace, so identical runs write identical bytes — the property
+		// the content-addressed run store's idempotent commits lean on.
+		ids := make([]int64, 0, len(g.ParentSizes))
+		for id := range g.ParentSizes {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if err := emit("P %d %d\n", id, g.ParentSizes[id]); err != nil {
 				return n, err
 			}
 		}
@@ -192,9 +201,7 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
-// Parse reads a trace previously produced by WriteTo. Parent records are
-// unordered within a generation (map iteration), which is fine: the
-// consumers only use sizes and ids.
+// Parse reads a trace previously produced by WriteTo.
 func Parse(r io.Reader) (*Trace, error) {
 	t := &Trace{}
 	sc := bufio.NewScanner(r)

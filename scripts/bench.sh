@@ -7,12 +7,14 @@
 # reference are recorded side by side), the replay-layer benches (one SoC generation, one EvE
 # trace replay), the serving-layer throughput bench (jobs/sec through a
 # real genesysd over loopback HTTP, serial vs parallel worker pool),
-# and, unless BENCH_QUICK=1, the full-suite harness bench plus the root
-# figure-regeneration benches, then renders everything into a
-# machine-readable trajectory record via cmd/benchjson:
+# the persistent-store hit bench (bytes/sec through a verified
+# Get — the disk-replay fast path), and, unless BENCH_QUICK=1, the
+# full-suite harness bench plus the root figure-regeneration benches,
+# then renders everything into a machine-readable trajectory record via
+# cmd/benchjson:
 #
-#	scripts/bench.sh                 # full run, writes BENCH_PR6.json
-#	BENCH_QUICK=1 scripts/bench.sh   # kernel + replay + serve microbenches only
+#	scripts/bench.sh                 # full run, writes BENCH_PR7.json
+#	BENCH_QUICK=1 scripts/bench.sh   # kernel + replay + serve + store microbenches only
 #
 # The JSON carries ns/op, B/op, allocs/op and custom figure metrics for
 # every benchmark, the pinned pre-PR baselines, and headline speedup
@@ -21,7 +23,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_PR6.json}
+out=${BENCH_OUT:-BENCH_PR7.json}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
@@ -40,6 +42,10 @@ go test -run=NONE -bench='BenchmarkEvEReplay' \
 echo "== serve throughput bench (daemon jobs/sec, serial vs parallel pool)"
 go test -run=NONE -bench='BenchmarkServeThroughput' \
     -benchmem -count=2 -benchtime=1s ./internal/serve/ | tee -a "$tmp"
+
+echo "== store hit bench (verified disk replay, bytes/sec)"
+go test -run=NONE -bench='BenchmarkStoreHitThroughput' \
+    -benchmem -count=3 -benchtime=1s ./internal/store/ | tee -a "$tmp"
 
 if [ "${BENCH_QUICK:-0}" != "1" ]; then
     echo "== experiment-suite bench (full harness, cold cache per iteration)"

@@ -6,13 +6,16 @@
 # exercise concurrency (the evolve evaluation pool and study runner, the
 # compiled-network kernel and its reuse cache, the hardware counter
 # registry, fault injector included, the experiment harness's
-# singleflight run cache + parallel scheduler, and the genesysd serving
-# layer with its integration test), a server smoke that runs the real
-# genesysd + genesysctl binaries end to end on an ephemeral port, a
-# one-iteration smoke over the kernel and replay trajectory benchmarks
-# (so a change that breaks the bench harness fails here, not in
-# scripts/bench.sh), and a short fuzz smoke over the two untrusted-input
-# decoders (trace parser, NEAT checkpoint).
+# singleflight run cache + parallel scheduler, the persistent run
+# store, and the genesysd serving layer with its integration test), a
+# server smoke that runs the real genesysd + genesysctl binaries end to
+# end on an ephemeral port, a durability smoke that SIGKILLs a
+# store-backed daemon and proves the restarted one replays the result
+# from disk, a one-iteration smoke over the kernel and replay
+# trajectory benchmarks (so a change that breaks the bench harness
+# fails here, not in scripts/bench.sh), and a short fuzz smoke over the
+# untrusted-input decoders (trace parser, NEAT checkpoint, store
+# manifest).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -34,12 +37,15 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (evolve, network, env, hw, experiments, serve)"
+echo "== go test -race (evolve, network, env, hw, experiments, serve, store)"
 # env is in the race set since the batch engine: BatchEnv lane state is
 # advanced by evaluation workers whose batch tests (network batch
 # differential, env lockstep, evolve batch-vs-serial) all run here.
+# store is in it since the persistent run store: commits, hits, GC, and
+# quarantine all cross the scheduler's worker pool.
 go test -race ./internal/evolve/... ./internal/network/... ./internal/env/... \
-    ./internal/hw/... ./internal/experiments/... ./internal/serve/...
+    ./internal/hw/... ./internal/experiments/... ./internal/serve/... \
+    ./internal/store/...
 
 echo "== genesysd smoke (real binaries, ephemeral port)"
 smokedir=$(mktemp -d)
@@ -66,6 +72,41 @@ grep -q '"genesysd"' "$smokedir/metrics.json" || { echo "metrics missing root" >
 # SIGTERM must drain cleanly.
 kill -TERM "$daemon"
 wait "$daemon" || { echo "genesysd exited non-zero on SIGTERM" >&2; exit 1; }
+
+echo "== store durability smoke (kill -9 the daemon, restart, replay from disk)"
+# Life 1: a store-backed daemon computes one job, then dies hard —
+# SIGKILL, no drain, no goodbye. Life 2 over the same -store-dir must
+# serve the identical resubmission from disk (stored=true, one
+# store_hit) without re-running the evolution.
+"$smokedir/genesysd" -addr 127.0.0.1:0 -addr-file "$smokedir/addr2" \
+    -store-dir "$smokedir/store" -checkpoint-dir "$smokedir/ckpt" &
+daemon=$!
+for _ in $(seq 1 100); do
+    [ -s "$smokedir/addr2" ] && break
+    sleep 0.1
+done
+addr="http://$(cat "$smokedir/addr2")"
+out1=$("$smokedir/genesysctl" -addr "$addr" submit \
+    -workload cartpole -pop 24 -generations 3 -seed 777 -watch)
+echo "$out1" | grep -q "stored=false" || { echo "first life claims a store hit" >&2; exit 1; }
+kill -9 "$daemon"
+wait "$daemon" 2>/dev/null || true
+"$smokedir/genesysd" -addr 127.0.0.1:0 -addr-file "$smokedir/addr3" \
+    -store-dir "$smokedir/store" -checkpoint-dir "$smokedir/ckpt" &
+daemon=$!
+for _ in $(seq 1 100); do
+    [ -s "$smokedir/addr3" ] && break
+    sleep 0.1
+done
+addr="http://$(cat "$smokedir/addr3")"
+out2=$("$smokedir/genesysctl" -addr "$addr" submit \
+    -workload cartpole -pop 24 -generations 3 -seed 777 -watch)
+echo "$out2"
+echo "$out2" | grep -q "stored=true" || { echo "restart did not replay from the store" >&2; exit 1; }
+"$smokedir/genesysctl" -addr "$addr" metrics | grep -q '"store_hits": 1' \
+    || { echo "metrics missing the store hit" >&2; exit 1; }
+kill -TERM "$daemon"
+wait "$daemon" || { echo "genesysd exited non-zero on SIGTERM" >&2; exit 1; }
 rm -rf "$smokedir"
 
 echo "== bench smoke (kernel + batch + replay trajectory benches, 1 iteration)"
@@ -82,12 +123,15 @@ go test -run=NONE -bench='BenchmarkEvEReplay' \
     -benchtime=1x ./internal/hw/eve/
 go test -run=NONE -bench='BenchmarkServeThroughput' \
     -benchtime=1x ./internal/serve/
+go test -run=NONE -bench='BenchmarkStoreHitThroughput' \
+    -benchtime=1x ./internal/store/
 
-echo "== fuzz smoke (trace, neat checkpoint)"
+echo "== fuzz smoke (trace, neat checkpoint, store manifest)"
 # -fuzzminimizetime is bounded in execs: the default 60s-per-input
 # minimization budget would eat the whole smoke window on the ~5 KB
 # checkpoint corpus entries.
 go test -run=NONE -fuzz=FuzzParse -fuzztime=5s -fuzzminimizetime=50x ./internal/trace/
 go test -run=NONE -fuzz=FuzzRestore -fuzztime=5s -fuzzminimizetime=50x ./internal/neat/
+go test -run=NONE -fuzz=FuzzManifest -fuzztime=5s -fuzzminimizetime=50x ./internal/store/
 
 echo "ok"
