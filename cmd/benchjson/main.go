@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -40,9 +41,21 @@ type Baseline struct {
 	Allocs  float64 `json:"allocs_per_op"`
 }
 
+// Host records the machine the benchmarks ran on — the context any
+// cross-PR ratio comparison needs (a 1-CPU container's scaling numbers
+// mean something different from a 32-core bare-metal run's).
+type Host struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
 // Document is the emitted trajectory record.
 type Document struct {
 	Schema     string              `json:"schema"`
+	Host       Host                `json:"host"`
 	Benchmarks []*Result           `json:"benchmarks"`
 	Baselines  map[string]Baseline `json:"baselines"`
 	Headlines  map[string]float64  `json:"headlines"`
@@ -185,7 +198,14 @@ func main() {
 	}
 
 	doc := Document{
-		Schema:    "genesys-bench/1",
+		Schema: "genesys-bench/1",
+		Host: Host{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
 		Baselines: baselines,
 		Headlines: map[string]float64{},
 	}
@@ -236,6 +256,32 @@ func main() {
 		}
 		if widest != nil && widest.NsPerOp > 0 {
 			doc.Headlines["ServeThroughput_parallel_speedup"] = round2(serial.NsPerOp / widest.NsPerOp)
+		}
+	}
+
+	// The PR8 cluster headline, computed within this document: fleet
+	// throughput with the widest worker count measured against the
+	// single-worker fleet (same coordinator, same dispatch path, so the
+	// ratio isolates what adding workers buys). The acceptance target
+	// (w=2 ≥ 1.6× w=1) applies on multi-core hosts; a 1-CPU host
+	// honestly records its measured ratio — the fleet there shares one
+	// core and the number reports dispatch pipelining, not scaling.
+	if single, ok := byName["BenchmarkClusterThroughput/w=1"]; ok && single.NsPerOp > 0 {
+		widestW := 1
+		var widest *Result
+		for name, r := range byName {
+			rest, found := strings.CutPrefix(name, "BenchmarkClusterThroughput/w=")
+			if !found {
+				continue
+			}
+			w, err := strconv.Atoi(rest)
+			if err != nil || w <= widestW {
+				continue
+			}
+			widestW, widest = w, r
+		}
+		if widest != nil && widest.NsPerOp > 0 {
+			doc.Headlines["ClusterThroughput_workers_speedup"] = round2(single.NsPerOp / widest.NsPerOp)
 		}
 	}
 

@@ -31,13 +31,14 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: genesysctl [-addr URL] <command> [args]
 
 commands:
-  submit      -workload W -pop N -generations N -seed N [-watch]
+  submit      -workload W -pop N -generations N -seed N [-islands N -migration-every N] [-watch]
   watch       <job-id>
   cancel      <job-id>
   checkpoint  <job-id>
   status      <job-id>
   list
   metrics
+  cluster     [join <worker-url>]
   load        -jobs N [-concurrency N] [-same-seed] [-no-watch] -workload W ...
 `)
 	os.Exit(2)
@@ -69,8 +70,8 @@ func watchJob(ctx context.Context, c *serve.Client, id string) {
 	if err != nil {
 		die(err)
 	}
-	fmt.Printf("%s: %s solved=%v generations=%d best=%.2f stored=%v\n",
-		final.ID, final.State, final.Solved, final.Generations, final.BestFitness, final.Stored)
+	fmt.Printf("%s: %s solved=%v generations=%d best=%.2f stored=%v resumed=%v\n",
+		final.ID, final.State, final.Solved, final.Generations, final.BestFitness, final.Stored, final.Resumed)
 	if final.State == serve.StateFailed {
 		os.Exit(1)
 	}
@@ -107,10 +108,13 @@ func main() {
 		pop := fs.Int("pop", 64, "population size")
 		gens := fs.Int("generations", 30, "generation budget")
 		seed := fs.Uint64("seed", 42, "run seed")
+		islands := fs.Int("islands", 0, "island count for an island-model run (0 = panmictic)")
+		migEvery := fs.Int("migration-every", 0, "generations between champion migrations (with -islands; 0 = server default)")
 		watch := fs.Bool("watch", false, "follow the job's record stream to completion")
 		fs.Parse(args)
 		st, err := c.Submit(ctx, serve.Spec{
 			Workload: *workload, Population: *pop, Generations: *gens, Seed: *seed,
+			Islands: *islands, MigrationEvery: *migEvery,
 		})
 		if err != nil {
 			die(err)
@@ -180,6 +184,32 @@ func main() {
 		}
 		fmt.Println(string(data))
 
+	case "cluster":
+		if len(args) == 2 && args[0] == "join" {
+			mem, err := c.ClusterJoin(ctx, args[1])
+			if err != nil {
+				die(err)
+			}
+			printJSON(mem)
+			return
+		}
+		if len(args) != 0 {
+			usage()
+		}
+		st, err := c.Cluster(ctx)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("ring points: %d\n", st.RingPoints)
+		fmt.Printf("%-10s %-28s %-6s %-6s %s\n", "id", "addr", "alive", "fails", "last seen")
+		for _, m := range st.Members {
+			last := ""
+			if !m.LastSeen.IsZero() {
+				last = m.LastSeen.Format(time.RFC3339)
+			}
+			fmt.Printf("%-10s %-28s %-6v %-6d %s\n", m.ID, m.Addr, m.Alive, m.FailedChecks, last)
+		}
+
 	case "load":
 		fs := flag.NewFlagSet("load", flag.ExitOnError)
 		workload := fs.String("workload", "cartpole", "task to evolve")
@@ -207,7 +237,7 @@ func main() {
 
 	default:
 		fmt.Fprintf(os.Stderr, "genesysctl: unknown command %q (have %s)\n",
-			cmd, strings.Join([]string{"submit", "watch", "cancel", "checkpoint", "status", "list", "metrics", "load"}, ", "))
+			cmd, strings.Join([]string{"submit", "watch", "cancel", "checkpoint", "status", "list", "metrics", "cluster", "load"}, ", "))
 		os.Exit(2)
 	}
 }

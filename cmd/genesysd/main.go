@@ -8,10 +8,20 @@
 // stragglers are cancelled at a generation boundary with a checkpoint
 // so a resubmission resumes where they stopped.
 //
+// Cluster mode distributes execution across a worker fleet while the
+// client-facing surface stays identical: a coordinator
+// (-coordinator) owns admission, the run store, and a consistent-hash
+// ring over its workers; each worker (-worker -join URL) runs the
+// same daemon plus the island session protocol and registers with the
+// coordinator, which health-checks it and re-dispatches its jobs on
+// death.
+//
 // Usage:
 //
 //	genesysd -addr 127.0.0.1:8177 -max-running 4 -queue 16
 //	genesysd -addr 127.0.0.1:0 -addr-file /tmp/genesysd.addr -checkpoint-dir /tmp/ckpt
+//	genesysd -addr 127.0.0.1:8177 -coordinator -store-dir /tmp/store
+//	genesysd -addr 127.0.0.1:0 -worker -join http://127.0.0.1:8177 -checkpoint-dir /tmp/ckpt
 package main
 
 import (
@@ -24,8 +34,10 @@ import (
 	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 	"repro/internal/serve/signalctx"
 	"repro/internal/store"
@@ -50,8 +62,25 @@ func main() {
 		storeMaxAge   = flag.Duration("store-max-age", 0, "evict run-store artifacts older than this on GC (0 = no age limit)")
 		ckptMaxAge    = flag.Duration("checkpoint-max-age", 24*time.Hour, "GC sweeps checkpoints older than this (0 = keep forever)")
 		storeGCEvery  = flag.Duration("store-gc-every", 10*time.Minute, "periodic run-store GC interval (0 = on-demand only via POST /store/gc)")
+
+		coordMode   = flag.Bool("coordinator", false, "run as cluster coordinator: dispatch admitted jobs across the joined worker fleet")
+		workerMode  = flag.Bool("worker", false, "run as fleet worker: serve the island session protocol and register with -join")
+		joinURL     = flag.String("join", "", "coordinator base URL a worker registers with (e.g. http://127.0.0.1:8177)")
+		advertise   = flag.String("advertise", "", "base URL this worker advertises to the coordinator (default http://<bound-addr>)")
+		workersList = flag.String("workers", "", "comma-separated worker base URLs the coordinator seeds its fleet with at boot")
+		hbEvery     = flag.Duration("heartbeat-every", 2*time.Second, "coordinator health-check interval")
+		hbTimeout   = flag.Duration("heartbeat-timeout", time.Second, "one health-check request's timeout")
+		failAfter   = flag.Int("fail-after", 3, "consecutive failed heartbeats before a worker is marked dead")
 	)
 	flag.Parse()
+	if *coordMode && *workerMode {
+		fmt.Fprintln(os.Stderr, "genesysd: -coordinator and -worker are mutually exclusive")
+		os.Exit(1)
+	}
+	if *workerMode && *joinURL == "" {
+		fmt.Fprintln(os.Stderr, "genesysd: -worker requires -join <coordinator-url>")
+		os.Exit(1)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -82,6 +111,16 @@ func main() {
 		}()
 	}
 
+	// The checkpoint directory must exist before the first job tries to
+	// write into it — store.Open creates it when a store is configured,
+	// but a store-less worker (the common fleet shape) has only this.
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "genesysd:", err)
+			os.Exit(1)
+		}
+	}
+
 	// The persistent run store survives daemon restarts: completed
 	// results replay from disk without re-evolving, and interrupted
 	// jobs are re-enqueued from their orphaned checkpoints on boot.
@@ -100,7 +139,7 @@ func main() {
 		}
 	}
 
-	sched := serve.NewScheduler(serve.Config{
+	cfg := serve.Config{
 		MaxRunning:        *maxRunning,
 		MaxQueue:          *queue,
 		MaxPerClient:      *perClient,
@@ -109,8 +148,44 @@ func main() {
 		CheckpointDir:     *ckptDir,
 		CheckpointEvery:   *ckptEvery,
 		Store:             runStore,
-	})
-	srv := &http.Server{Handler: serve.NewServer(sched)}
+	}
+
+	// Cluster wiring. A worker suffixes its checkpoints with its member
+	// id (derived from the advertised address) so a shared checkpoint
+	// directory never sees interleaved writes; a coordinator swaps its
+	// executor for the fleet dispatcher.
+	advAddr := *advertise
+	if advAddr == "" {
+		advAddr = "http://" + bound
+	}
+	var members *cluster.Membership
+	if *workerMode {
+		cfg.WorkerID = cluster.MemberID(advAddr)
+	}
+	if *coordMode {
+		members = cluster.NewMembership(cluster.MembershipConfig{
+			HeartbeatEvery:   *hbEvery,
+			HeartbeatTimeout: *hbTimeout,
+			FailAfter:        *failAfter,
+		})
+		cfg.Executor = &serve.Dispatcher{Members: members}
+	}
+
+	sched := serve.NewScheduler(cfg)
+	server := serve.NewServer(sched)
+	if *coordMode {
+		server.EnableCluster(members)
+		for _, addr := range strings.Split(*workersList, ",") {
+			if addr = strings.TrimSpace(addr); addr != "" {
+				mem := members.Join(addr)
+				fmt.Printf("genesysd: seeded worker %s (%s)\n", mem.ID, mem.Addr)
+			}
+		}
+	}
+	if *workerMode {
+		server.EnableWorker(cluster.NewWorkerAPI())
+	}
+	srv := &http.Server{Handler: server}
 
 	if runStore != nil {
 		rep, requeued := sched.Recover()
@@ -133,9 +208,42 @@ func main() {
 	ctx, stop := signalctx.Notify(context.Background())
 	defer stop()
 
+	if *coordMode {
+		go members.Run(ctx)
+	}
+	if *workerMode {
+		// Register with the coordinator, retrying until it is reachable,
+		// then re-join periodically — joins are idempotent, and the
+		// periodic one re-registers this worker after a coordinator
+		// restart wipes the membership registry.
+		go func() {
+			co := &serve.Client{Base: *joinURL, Retry: serve.RetryPolicy{MaxAttempts: 5}}
+			for {
+				if mem, err := co.ClusterJoin(ctx, advAddr); err == nil {
+					fmt.Printf("genesysd: joined %s as %s (%s)\n", *joinURL, mem.ID, mem.Addr)
+				} else if ctx.Err() != nil {
+					return
+				} else {
+					fmt.Fprintln(os.Stderr, "genesysd:", err)
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(15 * time.Second):
+				}
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	fmt.Printf("genesysd: listening on %s (workers %d, queue %d)\n", bound, *maxRunning, *queue)
+	mode := "standalone"
+	if *coordMode {
+		mode = "coordinator"
+	} else if *workerMode {
+		mode = "worker " + cluster.MemberID(advAddr)
+	}
+	fmt.Printf("genesysd: listening on %s (%s, workers %d, queue %d)\n", bound, mode, *maxRunning, *queue)
 
 	select {
 	case err := <-errc:

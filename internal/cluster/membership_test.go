@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// healthServer is a /healthz endpoint whose liveness flips on demand.
+type healthServer struct {
+	ok atomic.Bool
+	ts *httptest.Server
+}
+
+func newHealthServer(t *testing.T) *healthServer {
+	t.Helper()
+	h := &healthServer{}
+	h.ok.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !h.ok.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	h.ts = httptest.NewServer(mux)
+	t.Cleanup(h.ts.Close)
+	return h
+}
+
+func TestMembershipJoinAndOwner(t *testing.T) {
+	m := NewMembership(MembershipConfig{})
+	if _, ok := m.Owner("k"); ok {
+		t.Fatal("empty membership claimed an owner")
+	}
+	a := m.Join("http://127.0.0.1:9001")
+	b := m.Join("http://127.0.0.1:9002")
+	if a.ID == b.ID {
+		t.Fatalf("distinct addresses share member id %s", a.ID)
+	}
+	if got := m.Join("http://127.0.0.1:9001"); got.ID != a.ID {
+		t.Fatalf("re-join changed id: %s → %s", a.ID, got.ID)
+	}
+	if live := m.Live(); len(live) != 2 {
+		t.Fatalf("live = %v, want 2 members", live)
+	}
+	owner, ok := m.Owner("cartpole-p64-g30-s42")
+	if !ok || (owner.ID != a.ID && owner.ID != b.ID) {
+		t.Fatalf("owner = %+v ok=%v", owner, ok)
+	}
+}
+
+func TestMembershipFailAfterRemovesAndRevives(t *testing.T) {
+	h := newHealthServer(t)
+	var changes atomic.Int64
+	m := NewMembership(MembershipConfig{
+		FailAfter: 2,
+		OnChange:  func() { changes.Add(1) },
+	})
+	mem := m.Join(h.ts.URL)
+	ctx := context.Background()
+
+	m.CheckOnce(ctx)
+	if live := m.Live(); len(live) != 1 {
+		t.Fatalf("healthy member dropped: %v", live)
+	}
+
+	h.ok.Store(false)
+	m.CheckOnce(ctx) // failure 1 of 2: still alive
+	if live := m.Live(); len(live) != 1 {
+		t.Fatal("member removed before FailAfter consecutive failures")
+	}
+	m.CheckOnce(ctx) // failure 2 of 2: dead
+	if live := m.Live(); len(live) != 0 {
+		t.Fatalf("member still live after %d failures: %v", 2, live)
+	}
+	if _, ok := m.Owner("any"); ok {
+		t.Fatal("dead member still owns keys")
+	}
+
+	// Recovery: the next successful heartbeat revives it in place.
+	h.ok.Store(true)
+	m.CheckOnce(ctx)
+	if live := m.Live(); len(live) != 1 || live[0].ID != mem.ID {
+		t.Fatalf("member not revived: %v", live)
+	}
+	if changes.Load() < 3 { // join, death, revival
+		t.Fatalf("OnChange fired %d times, want >= 3", changes.Load())
+	}
+}
+
+func TestMembershipReportFailureImmediate(t *testing.T) {
+	m := NewMembership(MembershipConfig{})
+	a := m.Join("http://127.0.0.1:9001")
+	m.Join("http://127.0.0.1:9002")
+	m.ReportFailure(a.ID)
+	live := m.Live()
+	if len(live) != 1 || live[0].ID == a.ID {
+		t.Fatalf("reported-failed member still live: %v", live)
+	}
+	// Its keys re-shard to the survivor instantly.
+	for _, k := range []string{"a", "b", "c", "d"} {
+		if owner, ok := m.Owner(k); !ok || owner.ID == a.ID {
+			t.Fatalf("key %q owner = %+v ok=%v after failure report", k, owner, ok)
+		}
+	}
+	// Re-join revives.
+	m.Join("http://127.0.0.1:9001")
+	if len(m.Live()) != 2 {
+		t.Fatal("re-join did not revive the failed member")
+	}
+}
+
+func TestMembershipStatus(t *testing.T) {
+	m := NewMembership(MembershipConfig{})
+	a := m.Join("http://127.0.0.1:9001")
+	m.ReportFailure(a.ID)
+	status, points := m.Status()
+	if len(status) != 1 || status[0].Alive {
+		t.Fatalf("status = %+v, want one dead member", status)
+	}
+	if points != 0 {
+		t.Fatalf("ring holds %d points with no live members", points)
+	}
+}
+
+func TestPartitionIslands(t *testing.T) {
+	cases := []struct {
+		islands, shards int
+		want            [][]int
+	}{
+		{4, 2, [][]int{{0, 2}, {1, 3}}},
+		{5, 2, [][]int{{0, 2, 4}, {1, 3}}},
+		{3, 5, [][]int{{0}, {1}, {2}}}, // more shards than islands collapses
+		{6, 1, [][]int{{0, 1, 2, 3, 4, 5}}},
+	}
+	for _, c := range cases {
+		got := PartitionIslands(c.islands, c.shards)
+		if len(got) != len(c.want) {
+			t.Fatalf("PartitionIslands(%d,%d) = %v, want %v", c.islands, c.shards, got, c.want)
+		}
+		for k := range got {
+			if len(got[k]) != len(c.want[k]) {
+				t.Fatalf("PartitionIslands(%d,%d) shard %d = %v, want %v", c.islands, c.shards, k, got[k], c.want[k])
+			}
+			for i := range got[k] {
+				if got[k][i] != c.want[k][i] {
+					t.Fatalf("PartitionIslands(%d,%d) = %v, want %v", c.islands, c.shards, got, c.want)
+				}
+			}
+		}
+	}
+}

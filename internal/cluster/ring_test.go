@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(0)
+		r.Add("worker-a")
+		r.Add("worker-b")
+		r.Add("worker-c")
+		return r
+	}
+	a, b := build(), build()
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("cartpole-p64-g30-s%d", i)
+		oa, oka := a.Owner(key)
+		ob, okb := b.Owner(key)
+		if !oka || !okb {
+			t.Fatalf("key %q: no owner (oka=%v okb=%v)", key, oka, okb)
+		}
+		if oa != ob {
+			t.Fatalf("key %q: owners differ across identical rings: %q vs %q", key, oa, ob)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Owner("anything"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	r.Add("only")
+	for i := 0; i < 50; i++ {
+		owner, ok := r.Owner(fmt.Sprintf("key-%d", i))
+		if !ok || owner != "only" {
+			t.Fatalf("single-member ring: got (%q, %v)", owner, ok)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(0)
+	members := []string{"w0", "w1", "w2", "w3"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		owner, _ := r.Owner(fmt.Sprintf("workload-%d-p64", i))
+		counts[owner]++
+	}
+	// With 64 vnodes per member the split should be roughly even; allow
+	// a generous band so the test pins the property, not the constants.
+	for _, m := range members {
+		share := float64(counts[m]) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("member %s owns %.1f%% of keys; distribution too skewed: %v", m, 100*share, counts)
+		}
+	}
+}
+
+func TestRingRemoveOnlyMovesRemovedKeys(t *testing.T) {
+	r := NewRing(0)
+	r.Add("w0")
+	r.Add("w1")
+	r.Add("w2")
+	before := map[string]string{}
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k], _ = r.Owner(k)
+	}
+	r.Remove("w1")
+	for k, prev := range before {
+		now, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("key %q lost its owner after removal", k)
+		}
+		if prev != "w1" && now != prev {
+			t.Fatalf("key %q moved %q → %q though its owner stayed alive", k, prev, now)
+		}
+		if now == "w1" {
+			t.Fatalf("key %q still owned by removed member", k)
+		}
+	}
+	// Re-adding restores the exact original assignment (pure function
+	// of the member set).
+	r.Add("w1")
+	for k, prev := range before {
+		if now, _ := r.Owner(k); now != prev {
+			t.Fatalf("key %q: %q after re-add, want original %q", k, now, prev)
+		}
+	}
+}
+
+func TestRingAddIdempotent(t *testing.T) {
+	r := NewRing(0)
+	r.Add("w0")
+	points := r.Points()
+	r.Add("w0")
+	if r.Points() != points {
+		t.Fatalf("re-adding a member changed the ring: %d → %d points", points, r.Points())
+	}
+	if got := r.Members(); len(got) != 1 || got[0] != "w0" {
+		t.Fatalf("members = %v, want [w0]", got)
+	}
+}

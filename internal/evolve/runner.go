@@ -121,6 +121,13 @@ type Runner struct {
 	// CheckpointEvery is the checkpoint interval in generations; 0
 	// disables periodic checkpoints.
 	CheckpointEvery int
+	// TrackChampion makes every Step clone the generation's best genome
+	// post-evaluation (before reproduction replaces the population), so
+	// island-model migration can export it after the fact; see Champion.
+	TrackChampion bool
+
+	// champion is the latest tracked best genome (TrackChampion).
+	champion *gene.Genome
 
 	name     string
 	opCounts neat.OpCounts
@@ -532,6 +539,12 @@ func (r *Runner) Step(ctx context.Context) (GenStats, error) {
 	}
 
 	best := r.Pop.Best()
+	if r.TrackChampion {
+		// Clone at the evaluation boundary: Epoch below may retire the
+		// genome, and the exported champion must be the scored individual,
+		// not a mutated descendant.
+		r.champion = best.Clone()
+	}
 	nodes, conns := r.Pop.GeneComposition()
 	st := GenStats{
 		Generation:     r.Pop.Generation,
@@ -681,6 +694,12 @@ func (r *Runner) RestoreFrom(src io.Reader) error {
 	}
 	return nil
 }
+
+// Champion returns the clone of the best genome at the most recent
+// evaluated generation, or nil when TrackChampion is off or no
+// generation has been evaluated. The returned genome is owned by the
+// caller — Step replaces the runner's copy rather than mutating it.
+func (r *Runner) Champion() *gene.Genome { return r.champion }
 
 // Last returns the most recent generation stats (zero value if none).
 func (r *Runner) Last() GenStats {

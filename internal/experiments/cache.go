@@ -44,6 +44,19 @@ func runKeyFor(workload string, opt Options, run int) runKey {
 	}
 }
 
+// islandKey identifies one unique island-model run. Islands and
+// migration period are part of identity: the same (workload, pop,
+// gens, seed) evolved as 4 islands is a different computation than as
+// 2 islands or as one panmictic population.
+type islandKey struct {
+	workload       string
+	population     int
+	generations    int
+	islands        int
+	migrationEvery int
+	seed           uint64
+}
+
 // studyKey identifies one unique multi-run study. seed is the study
 // base seed; per-run seeds derive from it via evolve.RunSeed, a
 // different stream from single-run seeds, so studies and single runs
@@ -74,6 +87,29 @@ type flightMap[K comparable, V any] struct {
 	mu       sync.Mutex
 	m        map[K]*flight[V]
 	computes atomic.Int64
+}
+
+// peek returns the memoized value for key only when its computation
+// already completed successfully — never blocking and never computing.
+// The coordinator's dispatch path uses this to answer a job from local
+// memory before consulting the fleet.
+func (fm *flightMap[K, V]) peek(key K) (V, bool) {
+	var zero V
+	fm.mu.Lock()
+	f, ok := fm.m[key]
+	fm.mu.Unlock()
+	if !ok {
+		return zero, false
+	}
+	select {
+	case <-f.done:
+		if f.err != nil {
+			return zero, false
+		}
+		return f.val, true
+	default:
+		return zero, false
+	}
 }
 
 // get returns the memoized value for key, computing it via compute if
@@ -114,9 +150,10 @@ func (fm *flightMap[K, V]) reset() {
 // The three stores, in dependency order: comparisons consume runs,
 // figures consume all three.
 var (
-	runCache   flightMap[runKey, *evolved]
-	studyCache flightMap[studyKey, *evolve.Study]
-	priceCache flightMap[runKey, *comparison]
+	runCache    flightMap[runKey, *evolved]
+	studyCache  flightMap[studyKey, *evolve.Study]
+	priceCache  flightMap[runKey, *comparison]
+	islandCache flightMap[islandKey, *evolve.IslandRun]
 )
 
 // evolutionsRun counts actual evolution executions — bumped only when
@@ -134,6 +171,7 @@ func ResetCaches() {
 	runCache.reset()
 	studyCache.reset()
 	priceCache.reset()
+	islandCache.reset()
 	evolutionsRun.Store(0)
 }
 

@@ -56,6 +56,13 @@ type SharedRequest struct {
 	// the path should encode the key).
 	CheckpointPath  string
 	CheckpointEvery int
+	// ResumeFromPath, when set, is the checkpoint file the run restores
+	// from instead of CheckpointPath — the cluster failover seam: a
+	// worker taking over a dead worker's job resumes from the orphan's
+	// owner-suffixed checkpoint while writing its own checkpoints to its
+	// own CheckpointPath, so two workers never share a write target.
+	// Both files are removed after an uninterrupted completion.
+	ResumeFromPath string
 	// OnRunner, when set, is called with the live runner just before a
 	// cache-miss run starts — the hook a serving layer uses to wire
 	// per-job control (Runner.RequestCheckpoint). The runner is owned
@@ -129,6 +136,35 @@ func RunShared(req SharedRequest) (*SharedRun, error) {
 	return out, nil
 }
 
+// PeekShared answers a run request from what this process already has
+// — the memory cache, then the persistent store — without ever
+// computing. It is the coordinator's store-hit proxy seam: before
+// dispatching a job to the fleet, the coordinator checks whether it
+// can replay the run locally. A store hit is memoized so repeated
+// peeks of the same key read disk once.
+func PeekShared(workload string, population, generations int, seed uint64) (*SharedRun, bool) {
+	opt := Options{
+		Seed:           seed,
+		MaxGenerations: generations,
+		Population:     population,
+		RAMPopulation:  population,
+		RAMGenerations: generations,
+	}
+	key := runKeyFor(workload, opt, 0)
+	if e, ok := runCache.peek(key); ok {
+		return &SharedRun{Runner: e.runner, Trace: e.trace, Solved: e.solved}, true
+	}
+	se, ok := loadStored(key)
+	if !ok {
+		return nil, false
+	}
+	e, err := runCache.get(key, func() (*evolved, error) { return se, nil })
+	if err != nil {
+		return nil, false
+	}
+	return &SharedRun{Runner: e.runner, Trace: e.trace, Solved: e.solved, Stored: true}, true
+}
+
 // EvolutionsExecuted reports how many evolution computations (single
 // runs plus studies) have executed since the last cache reset — the
 // execution counter admission tests and the daemon's metrics use to
@@ -156,8 +192,14 @@ func evolveSharedLocked(req SharedRequest, out *SharedRun) (*evolved, error) {
 	if req.CheckpointPath != "" {
 		r.CheckpointPath = req.CheckpointPath
 		r.CheckpointEvery = req.CheckpointEvery
-		if _, serr := os.Stat(req.CheckpointPath); serr == nil {
-			if rerr := r.RestoreCheckpoint(req.CheckpointPath); rerr != nil {
+	}
+	resume := req.ResumeFromPath
+	if resume == "" {
+		resume = req.CheckpointPath
+	}
+	if resume != "" {
+		if _, serr := os.Stat(resume); serr == nil {
+			if rerr := r.RestoreCheckpoint(resume); rerr != nil {
 				return nil, rerr
 			}
 			out.Resumed = true
@@ -173,9 +215,13 @@ func evolveSharedLocked(req SharedRequest, out *SharedRun) (*evolved, error) {
 	}
 	// A completed run's checkpoint has served its purpose; removing it
 	// keeps a later run that reuses the path (same key after a cache
-	// reset) from "resuming" a finished population.
+	// reset) from "resuming" a finished population. The failover resume
+	// source (the dead worker's orphan) is reclaimed too.
 	if req.CheckpointPath != "" {
 		os.Remove(req.CheckpointPath)
+	}
+	if req.ResumeFromPath != "" && req.ResumeFromPath != req.CheckpointPath {
+		os.Remove(req.ResumeFromPath)
 	}
 	// Cached entries are read-only (History/Pop/trace; re-scoring uses
 	// the self-contained ScoreGenome), so drop the evaluation engine

@@ -1,0 +1,33 @@
+package neat
+
+import "repro/internal/gene"
+
+// ReceiveMigrant injects an immigrant genome into the population,
+// replacing the current worst member — the island-model migration
+// primitive: an island imports a neighbor's champion without growing
+// its population. The migrant is cloned and assigned a fresh local
+// genome ID (IDs seed episode PRNGs and must stay unique within a
+// population's ID stream), so the caller's genome is never aliased and
+// the operation is deterministic: the replaced slot is the
+// lowest-fitness genome, ties broken by lowest slot index. Returns the
+// replaced slot index, or -1 when the population is empty.
+//
+// The migrant's carried fitness is kept — it only orders the next
+// generation's evaluation dispatch; every fitness is re-evaluated
+// before selection, so a stale value cannot influence reproduction.
+func (p *Population) ReceiveMigrant(g *gene.Genome) int {
+	if len(p.Genomes) == 0 {
+		return -1
+	}
+	worst := 0
+	for i, cand := range p.Genomes {
+		if cand.Fitness < p.Genomes[worst].Fitness {
+			worst = i
+		}
+	}
+	m := g.Clone()
+	m.ID = p.nextGenomeID
+	p.nextGenomeID++
+	p.Genomes[worst] = m
+	return worst
+}

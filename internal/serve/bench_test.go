@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 )
 
@@ -76,6 +77,81 @@ func BenchmarkServeThroughput(b *testing.B) {
 
 			sched.Drain(time.Minute)
 			srv.Close()
+		})
+	}
+}
+
+// BenchmarkClusterThroughput measures fleet scaling end to end: a
+// coordinator dispatching jobs over real loopback HTTP to w in-process
+// worker daemons, each capped at 2 run slots so capacity grows with
+// fleet size. The w=1/w=2 ratio is the PR8 cluster-speedup headline in
+// BENCH_PR8.json; on a single-core host it measures the pipelining of
+// dispatch overhead against compute rather than core scaling (the
+// recorded ratio carries that caveat).
+func BenchmarkClusterThroughput(b *testing.B) {
+	for _, nWorkers := range []int{1, 2} {
+		b.Run(fmt.Sprintf("w=%d", nWorkers), func(b *testing.B) {
+			experiments.ResetCaches()
+			runtime.GC()
+			var workers []*fleetWorker
+			var cleanups []func()
+			for i := 0; i < nWorkers; i++ {
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				addr := "http://" + ln.Addr().String()
+				w := &fleetWorker{addr: addr, id: cluster.MemberID(addr)}
+				w.sched = NewScheduler(Config{
+					MaxRunning: 2,
+					MaxQueue:   b.N + 16,
+					WorkerID:   w.id,
+				})
+				w.srv = &http.Server{Handler: NewServer(w.sched)}
+				go w.srv.Serve(ln)
+				workers = append(workers, w)
+				cleanups = append(cleanups, func() {
+					w.sched.Drain(time.Minute)
+					w.srv.Close()
+				})
+			}
+			members := clusterMembership(workers)
+			sched := NewScheduler(Config{
+				MaxRunning: nWorkers * 2,
+				MaxQueue:   b.N + 16,
+				Executor:   &Dispatcher{Members: members},
+			})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := &http.Server{Handler: NewServer(sched)}
+			go srv.Serve(ln)
+			c := &Client{Base: "http://" + ln.Addr().String(), Name: "bench"}
+			base := benchSeed.Add(uint64(b.N)) - uint64(b.N)
+
+			b.ResetTimer()
+			rep, err := c.Load(context.Background(), LoadSpec{
+				Template:      Spec{Workload: "cartpole", Population: 16, Generations: 2, Seed: base},
+				Jobs:          b.N,
+				Concurrency:   nWorkers * 4,
+				DistinctSeeds: true,
+				Watch:         true,
+			})
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Completed != b.N {
+				b.Fatalf("completed %d of %d jobs: %+v", rep.Completed, b.N, rep)
+			}
+			b.ReportMetric(rep.JobsPerSec, "jobs/sec")
+
+			sched.Drain(time.Minute)
+			srv.Close()
+			for _, f := range cleanups {
+				f()
+			}
 		})
 	}
 }

@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/evolve"
+	"repro/internal/experiments"
+	"repro/internal/hw/hwsim"
+)
+
+// Dispatcher is the cluster coordinator's Executor: admitted jobs are
+// routed to the worker owning their run-cache key on the consistent
+// hash ring, executed remotely through the ordinary genesysd client
+// surface, and their record streams proxied back into the local job's
+// sink — so submitters talk to one coordinator and cannot tell the
+// fleet from a single process. Island-model jobs are instead sharded
+// across every live worker (cluster.RunDistributed).
+//
+// Failover: a transport failure mid-job marks the worker dead in the
+// registry (its ring points are removed immediately) and re-dispatches
+// the job to the key's new owner, which resumes from the dead worker's
+// orphaned checkpoint when the fleet shares a checkpoint directory.
+// Records replayed by the new worker are deduplicated by generation
+// number, so the coordinator's stream stays exactly-once.
+type Dispatcher struct {
+	// Members is the worker registry and hash ring.
+	Members *cluster.Membership
+	// HTTP is the transport to workers; nil means http.DefaultClient.
+	HTTP *http.Client
+	// MaxAttempts bounds one job's dispatch attempts across worker
+	// deaths; 0 means 4.
+	MaxAttempts int
+
+	init     sync.Once
+	counters *hwsim.Counters
+	ctr      *hwsim.Counters
+
+	mu       sync.Mutex
+	inflight map[string]int // live dispatched jobs per worker id
+}
+
+// workerFailure marks a dispatch error attributable to the worker
+// (transport broke, stream died) rather than to the job itself — the
+// signal to mark the worker dead and re-dispatch.
+type workerFailure struct{ err error }
+
+func (e *workerFailure) Error() string { return e.err.Error() }
+func (e *workerFailure) Unwrap() error { return e.err }
+
+func (d *Dispatcher) http() *http.Client {
+	if d.HTTP != nil {
+		return d.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (d *Dispatcher) attempts() int {
+	if d.MaxAttempts > 0 {
+		return d.MaxAttempts
+	}
+	return 4
+}
+
+// Counters exposes the dispatcher's cluster registry; the scheduler
+// adopts it into the daemon's /metrics tree.
+func (d *Dispatcher) Counters() *hwsim.Counters {
+	d.ensure()
+	return d.counters
+}
+
+func (d *Dispatcher) ensure() {
+	d.init.Do(func() {
+		d.counters = hwsim.New("cluster")
+		d.ctr = d.counters
+		d.inflight = map[string]int{}
+		// Fleet gauges refresh at snapshot time from the registry.
+		d.counters.OnSnapshot(func(c *hwsim.Counters) {
+			status, points := d.Members.Status()
+			live := 0
+			for _, st := range status {
+				if st.Alive {
+					live++
+				}
+			}
+			c.SetInt("workers_known", int64(len(status)))
+			c.SetInt("workers_live", int64(live))
+			c.SetInt("ring_points", int64(points))
+		})
+		d.counters.Child("inflight").OnSnapshot(func(c *hwsim.Counters) {
+			d.mu.Lock()
+			for id, n := range d.inflight {
+				c.SetInt(id, int64(n))
+			}
+			d.mu.Unlock()
+		})
+	})
+}
+
+func (d *Dispatcher) track(workerID string, delta int) {
+	d.mu.Lock()
+	d.inflight[workerID] += delta
+	if d.inflight[workerID] <= 0 {
+		delete(d.inflight, workerID)
+	}
+	d.mu.Unlock()
+}
+
+// Execute routes one admitted job to the fleet. Jobs the coordinator
+// can answer from its own run cache or store never touch a worker.
+func (d *Dispatcher) Execute(ctx context.Context, j *Job, sink hwsim.Sink) (Outcome, error) {
+	d.ensure()
+	if j.Spec.IsIsland() {
+		return d.executeIsland(ctx, j, sink)
+	}
+	if run, ok := experiments.PeekShared(j.Spec.Workload, j.Spec.Population, j.Spec.Generations, j.Spec.Seed); ok {
+		d.ctr.AddInt("proxied_store_hits", 1)
+		return replayShared(j.Spec.Workload, run, sink), nil
+	}
+	return d.dispatch(ctx, j, sink)
+}
+
+// replayShared streams a locally cached run's history through sink and
+// folds it into an Outcome — the coordinator's store-hit proxy.
+func replayShared(workload string, run *experiments.SharedRun, sink hwsim.Sink) Outcome {
+	var best float64
+	for i, st := range run.Runner.History {
+		sink.Record(hwsim.Record{
+			Workload:   workload,
+			Generation: st.Generation,
+			Report:     st.CounterReport(),
+		})
+		if i == 0 || st.MaxFitness > best {
+			best = st.MaxFitness
+		}
+	}
+	return Outcome{
+		Solved: run.Solved,
+		Shared: true,
+		Stored: run.Stored,
+		Best:   best,
+		Gens:   len(run.Runner.History),
+	}
+}
+
+// dispatch runs one ordinary job on the fleet with failover. Stream
+// state (last generation seen, best fitness, forwarded count) lives
+// across attempts so a re-dispatched worker's history replay is
+// deduplicated and the outcome reflects the whole job.
+func (d *Dispatcher) dispatch(ctx context.Context, j *Job, sink hwsim.Sink) (Outcome, error) {
+	lastGen := -1
+	forwarded := 0
+	var best float64
+	var lastErr error
+	for attempt := 0; attempt < d.attempts(); attempt++ {
+		if err := ctx.Err(); err != nil {
+			return Outcome{}, err
+		}
+		owner, ok := d.Members.Owner(j.Spec.key())
+		if !ok {
+			return Outcome{}, errors.New("serve: no live workers in the fleet")
+		}
+		out, err := d.runOn(ctx, owner, j, sink, &lastGen, &forwarded, &best)
+		if err == nil {
+			return out, nil
+		}
+		if ctx.Err() != nil {
+			return Outcome{}, err
+		}
+		var fail *workerFailure
+		if !errors.As(err, &fail) {
+			// The job itself failed on a healthy worker; re-dispatching
+			// the same deterministic computation would fail the same way.
+			return Outcome{}, err
+		}
+		lastErr = err
+		d.Members.ReportFailure(owner.ID)
+		d.ctr.AddInt("redispatched", 1)
+	}
+	return Outcome{}, fmt.Errorf("serve: dispatch failed after %d attempts: %w", d.attempts(), lastErr)
+}
+
+// runOn executes the job on one worker: submit, watch the stream to
+// completion (forwarding records beyond lastGen), fetch the outcome.
+func (d *Dispatcher) runOn(ctx context.Context, owner cluster.Member, j *Job, sink hwsim.Sink, lastGen *int, forwarded *int, best *float64) (Outcome, error) {
+	cl := &Client{
+		Base: owner.Addr,
+		HTTP: d.http(),
+		Name: "(coordinator)",
+		// A small budget smooths worker restarts and momentary sheds;
+		// persistent failure surfaces fast so failover can run.
+		Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 500 * time.Millisecond},
+	}
+	d.ctr.AddInt("dispatched", 1)
+	d.track(owner.ID, +1)
+	defer d.track(owner.ID, -1)
+
+	spec := j.Spec
+	spec.Client = "(coordinator)"
+	st, err := cl.Submit(ctx, spec)
+	if err != nil {
+		return Outcome{}, &workerFailure{err}
+	}
+	// Cancelling the coordinator job cancels the remote one, freeing
+	// the worker's slot (and letting it checkpoint) promptly.
+	stop := context.AfterFunc(ctx, func() {
+		cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
+		defer cancel()
+		cl.Cancel(cctx, st.ID)
+	})
+	defer stop()
+
+	final, err := cl.Watch(ctx, st.ID, func(rec hwsim.Record) error {
+		if rec.Generation <= *lastGen {
+			return nil // duplicate from a post-failover history replay
+		}
+		*lastGen = rec.Generation
+		*forwarded++
+		if mf := rec.Report.Float("max_fitness"); *forwarded == 1 || mf > *best {
+			*best = mf
+		}
+		sink.Record(rec)
+		return nil
+	})
+	if err != nil {
+		return Outcome{}, &workerFailure{err}
+	}
+	switch final.State {
+	case StateDone:
+		out := Outcome{
+			Solved:  final.Solved,
+			Shared:  final.Shared,
+			Resumed: final.Resumed,
+			Stored:  final.Stored,
+			Best:    *best,
+			Gens:    *forwarded,
+		}
+		if final.BestFitness > out.Best {
+			out.Best = final.BestFitness
+		}
+		if out.Gens == 0 {
+			out.Gens = final.Generations
+		}
+		return out, nil
+	case StateCancelled:
+		// The coordinator did not cancel (its context is alive — a
+		// cancelled context surfaces as a Watch error above), so the
+		// worker cancelled on its own: it is draining. The job
+		// checkpointed at a generation boundary; fail over so another
+		// worker resumes it.
+		return Outcome{}, &workerFailure{fmt.Errorf("serve: worker %s cancelled job %s (draining): %s", owner.ID, st.ID, final.Error)}
+	default:
+		return Outcome{}, fmt.Errorf("serve: worker job %s on %s %s: %s", st.ID, owner.ID, final.State, final.Error)
+	}
+}
+
+// executeIsland resolves an island job through the shared island
+// cache, computing cold misses on the fleet (every live worker gets a
+// shard). The result is byte-identical to the single-process
+// reference, so cache and store contents are fleet-shape independent.
+func (d *Dispatcher) executeIsland(ctx context.Context, j *Job, sink hwsim.Sink) (Outcome, error) {
+	out, err := experiments.RunSharedIsland(experiments.IslandRequest{
+		Workload:       j.Spec.Workload,
+		Population:     j.Spec.Population,
+		Generations:    j.Spec.Generations,
+		Islands:        j.Spec.Islands,
+		MigrationEvery: j.Spec.MigrationEvery,
+		Seed:           j.Spec.Seed,
+		Ctx:            ctx,
+		Run: func(ctx context.Context) (*evolve.IslandRun, error) {
+			return d.runIslandsOnFleet(ctx, j)
+		},
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	if out.Stored {
+		d.ctr.AddInt("proxied_store_hits", 1)
+	}
+	return islandOutcome(out, sink), nil
+}
+
+// runIslandsOnFleet computes one island run across the live workers,
+// restarting on the survivors when a shard's worker dies (the run is
+// deterministic, so the fleet shape never changes the result). With
+// no live workers the coordinator falls back to the local reference.
+func (d *Dispatcher) runIslandsOnFleet(ctx context.Context, j *Job) (*evolve.IslandRun, error) {
+	spec := j.Spec.islandSpec()
+	session := j.Spec.key() + "@" + j.ID
+	var lastErr error
+	for attempt := 0; attempt < d.attempts(); attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		workers := d.Members.Live()
+		if len(workers) == 0 {
+			d.ctr.AddInt("island_local", 1)
+			return evolve.RunIslands(ctx, spec)
+		}
+		d.ctr.AddInt("island_distributed", 1)
+		run, err := cluster.RunDistributed(ctx, spec, session, workers, d.http())
+		if err == nil {
+			return run, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+		var shard *cluster.ShardError
+		if !errors.As(err, &shard) {
+			return nil, err
+		}
+		d.Members.ReportFailure(shard.Member.ID)
+		d.ctr.AddInt("redispatched", 1)
+	}
+	return nil, fmt.Errorf("serve: island dispatch failed after %d attempts: %w", d.attempts(), lastErr)
+}

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/evolve"
+	"repro/internal/experiments"
+	"repro/internal/hw/hwsim"
+)
+
+// localExecutor is the default Executor: it runs jobs in-process
+// through the experiment harness's shared run cache, exactly as the
+// single-process daemon always has. Fleet workers use it too — the
+// only difference is a WorkerID suffixing their checkpoint files.
+type localExecutor struct {
+	cfg Config
+}
+
+// Execute resolves one job through the shared run cache (ordinary or
+// island flavor), streaming records through sink either live (cache
+// miss) or by replaying the memoized history (hit).
+func (e *localExecutor) Execute(ctx context.Context, j *Job, sink hwsim.Sink) (Outcome, error) {
+	if j.Spec.IsIsland() {
+		return e.executeIsland(ctx, j, sink)
+	}
+
+	req := experiments.SharedRequest{
+		Workload:    j.Spec.Workload,
+		Population:  j.Spec.Population,
+		Generations: j.Spec.Generations,
+		Seed:        j.Spec.Seed,
+		Ctx:         ctx,
+		Sink:        sink,
+		Parallelism: e.cfg.RunnerParallelism,
+		BatchWidth:  e.cfg.RunnerBatchWidth,
+		OnRunner:    j.PublishRunner,
+	}
+	if e.cfg.CheckpointDir != "" {
+		key := j.Spec.key()
+		req.CheckpointPath = checkpointFile(e.cfg.CheckpointDir, key, e.cfg.WorkerID)
+		req.CheckpointEvery = e.cfg.CheckpointEvery
+		// Resume from the freshest checkpoint of this key regardless of
+		// which worker wrote it — the failover path: a re-dispatched job
+		// picks up the dead worker's orphan.
+		if resume, ok := findResume(e.cfg.CheckpointDir, key); ok && resume != req.CheckpointPath {
+			req.ResumeFromPath = resume
+		}
+	}
+
+	res, err := experiments.RunShared(req)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if !res.Computed {
+		// Served from the run cache (memory or disk tier): replay the
+		// memoized history so this job's subscribers see the same record
+		// stream a fresh execution would have produced.
+		for _, st := range res.Runner.History {
+			sink.Record(hwsim.Record{
+				Workload:   j.Spec.Workload,
+				Generation: st.Generation,
+				Report:     st.CounterReport(),
+			})
+		}
+	}
+	var best float64
+	for i, st := range res.Runner.History {
+		if i == 0 || st.MaxFitness > best {
+			best = st.MaxFitness
+		}
+	}
+	return Outcome{
+		Solved:  res.Solved,
+		Shared:  !res.Computed,
+		Resumed: res.Resumed,
+		Stored:  res.Stored,
+		Best:    best,
+		Gens:    len(res.Runner.History),
+	}, nil
+}
+
+// executeIsland resolves an island-model job through the island run
+// cache. Island runs have no checkpoint machinery (each segment is
+// short and the whole run is deterministic), so interruption means
+// recomputation — the store tier still dedupes across restarts.
+func (e *localExecutor) executeIsland(ctx context.Context, j *Job, sink hwsim.Sink) (Outcome, error) {
+	out, err := experiments.RunSharedIsland(experiments.IslandRequest{
+		Workload:       j.Spec.Workload,
+		Population:     j.Spec.Population,
+		Generations:    j.Spec.Generations,
+		Islands:        j.Spec.Islands,
+		MigrationEvery: j.Spec.MigrationEvery,
+		Seed:           j.Spec.Seed,
+		Ctx:            ctx,
+		Parallelism:    e.cfg.RunnerParallelism,
+		BatchWidth:     e.cfg.RunnerBatchWidth,
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	return islandOutcome(out, sink), nil
+}
+
+// islandOutcome converts a shared island result into a job Outcome,
+// replaying the run's records through sink. Island runs always replay
+// (the per-island runners never stream live), so a computed run and a
+// cache hit produce the identical record stream.
+func islandOutcome(out *experiments.IslandOutcome, sink hwsim.Sink) Outcome {
+	evolve.ReplayIslandRecords(out.Run, sink)
+	gens := 0
+	for _, ir := range out.Run.Results {
+		if len(ir.History) > gens {
+			gens = len(ir.History)
+		}
+	}
+	return Outcome{
+		Solved: out.Run.Solved,
+		Shared: !out.Computed,
+		Stored: out.Stored,
+		Best:   out.Run.BestFitness,
+		Gens:   gens,
+	}
+}
+
+// checkpointFile names the checkpoint a job writes: the cache key,
+// plus an owner suffix when the process has a WorkerID, so fleet
+// workers sharing a checkpoint directory never interleave writes into
+// one file. '~' cannot appear in a canonical key, so the suffix parses
+// back unambiguously (store.ParseKeyFilename strips it).
+func checkpointFile(dir, key, owner string) string {
+	name := key
+	if owner != "" {
+		name += "~" + owner
+	}
+	return filepath.Join(dir, name+".ckpt")
+}
+
+// findResume locates the freshest checkpoint for key in dir — the
+// unowned "<key>.ckpt" or any owner's "<key>~<owner>.ckpt" — so a
+// job re-dispatched after a worker death resumes from the orphan the
+// dead worker left behind, whoever wrote it.
+func findResume(dir, key string) (string, bool) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", false
+	}
+	var best string
+	var bestMod int64
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		base, ok := strings.CutSuffix(name, ".ckpt")
+		if !ok {
+			continue
+		}
+		if owned, hasOwner := strings.CutPrefix(base, key+"~"); hasOwner {
+			if owned == "" || strings.ContainsAny(owned, "/\\") {
+				continue
+			}
+		} else if base != key {
+			continue
+		}
+		info, ierr := ent.Info()
+		if ierr != nil {
+			continue
+		}
+		if mod := info.ModTime().UnixNano(); best == "" || mod > bestMod {
+			best = filepath.Join(dir, name)
+			bestMod = mod
+		}
+	}
+	return best, best != ""
+}

@@ -41,6 +41,13 @@ type Spec struct {
 	Population  int    `json:"population,omitempty"`
 	Generations int    `json:"generations,omitempty"`
 	Seed        uint64 `json:"seed,omitempty"`
+	// Islands, when > 0, makes this an island-model job: the population
+	// splits into Islands sub-populations that evolve independently and
+	// exchange champions every MigrationEvery generations. Both fields
+	// join the cache key — an island run is a different computation
+	// than a panmictic run of the same tuple.
+	Islands        int `json:"islands,omitempty"`
+	MigrationEvery int `json:"migration_every,omitempty"`
 	// Client identifies the submitter for the per-client in-flight
 	// cap; empty falls back to the transport identity (header, then
 	// remote address).
@@ -58,7 +65,25 @@ func (sp Spec) withDefaults() Spec {
 	if sp.Seed == 0 {
 		sp.Seed = 42
 	}
+	if sp.Islands > 0 && sp.MigrationEvery <= 0 {
+		sp.MigrationEvery = 5
+	}
 	return sp
+}
+
+// IsIsland reports whether the spec requests an island-model run.
+func (sp Spec) IsIsland() bool { return sp.Islands > 0 }
+
+// islandSpec maps the job spec onto the evolve-layer island tuple.
+func (sp Spec) islandSpec() evolve.IslandSpec {
+	return evolve.IslandSpec{
+		Workload:       sp.Workload,
+		Population:     sp.Population,
+		Generations:    sp.Generations,
+		Islands:        sp.Islands,
+		MigrationEvery: sp.MigrationEvery,
+		Seed:           sp.Seed,
+	}
 }
 
 // validate rejects specs the scheduler would choke on.
@@ -72,14 +97,22 @@ func (sp Spec) validate() error {
 	if sp.Generations < 1 {
 		return fmt.Errorf("generations %d: need at least 1", sp.Generations)
 	}
+	if sp.IsIsland() {
+		return sp.islandSpec().Validate()
+	}
 	return nil
 }
 
 // key is the spec's run-cache identity rendered as a stable string —
-// used for checkpoint file names, so an interrupted job's resubmission
-// finds its checkpoint by construction.
+// used for checkpoint file names and cluster sharding, so an
+// interrupted job's resubmission finds its checkpoint and the ring
+// finds the same owner by construction. Matches store.Key.String().
 func (sp Spec) key() string {
-	return fmt.Sprintf("%s-p%d-g%d-s%d", sp.Workload, sp.Population, sp.Generations, sp.Seed)
+	base := fmt.Sprintf("%s-p%d-g%d-s%d", sp.Workload, sp.Population, sp.Generations, sp.Seed)
+	if sp.IsIsland() {
+		base += fmt.Sprintf("-i%d-m%d", sp.Islands, sp.MigrationEvery)
+	}
+	return base
 }
 
 // Job is one submitted evolution with its lifecycle state and record
@@ -228,6 +261,23 @@ func (j *Job) setOutcome(solved, shared, resumed, stored bool, best float64, gen
 	j.best = best
 	j.gens = gens
 	j.mu.Unlock()
+}
+
+// PublishRunner publishes (or clears, with nil) the live runner an
+// executor is driving, so CheckpointJob can reach it, and applies any
+// checkpoint request that arrived while the job was still queued.
+func (j *Job) PublishRunner(r *evolve.Runner) {
+	j.runner.Store(r)
+	if r == nil {
+		return
+	}
+	j.mu.Lock()
+	asked := j.ckptAsked
+	j.ckptAsked = false
+	j.mu.Unlock()
+	if asked {
+		r.RequestCheckpoint()
+	}
 }
 
 // noteRecord bumps the streamed-generation count and best fitness as

@@ -32,6 +32,42 @@ func instantRetry(attempts int, slept *[]time.Duration) RetryPolicy {
 	}
 }
 
+// TestRetryDelayJitterBounds pins the jitter envelope: for every
+// attempt and any jitter draw, the delay stays within ±Jitter of the
+// capped exponential schedule — never shorter than the low bound
+// (which would stampede a recovering server) and never longer than
+// the high bound (which would stall failover).
+func TestRetryDelayJitterBounds(t *testing.T) {
+	const base, cap = 100 * time.Millisecond, 800 * time.Millisecond
+	for _, draw := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		pol := RetryPolicy{
+			BaseDelay: base, MaxDelay: cap, Jitter: 0.2,
+			rand: func() float64 { return draw },
+		}.withDefaults()
+		for attempt := 1; attempt <= 6; attempt++ {
+			exp := base
+			for i := 1; i < attempt && exp < cap; i++ {
+				exp *= 2
+			}
+			if exp > cap {
+				exp = cap
+			}
+			d := pol.delay(attempt, nil)
+			lo := time.Duration(float64(exp) * 0.8)
+			hi := time.Duration(float64(exp) * 1.2)
+			if d < lo || d > hi {
+				t.Fatalf("attempt %d draw %.2f: delay %v outside [%v, %v]", attempt, draw, d, lo, hi)
+			}
+		}
+	}
+	// A server's Retry-After hint floors the schedule even at the
+	// lowest jitter draw.
+	pol := RetryPolicy{BaseDelay: base, MaxDelay: cap, Jitter: 0.2, rand: func() float64 { return 0 }}.withDefaults()
+	if d := pol.delay(1, &ShedError{RetryAfter: 2}); d != 2*time.Second {
+		t.Fatalf("Retry-After floor: delay %v, want 2s", d)
+	}
+}
+
 // TestSubmitRetriesShed: a submission shed twice with 429 + Retry-After
 // succeeds on the third attempt, and every backoff honors the server's
 // Retry-After floor even when the exponential schedule is shorter.

@@ -21,13 +21,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/evolve"
 	"repro/internal/experiments"
 	"repro/internal/hw/hwsim"
 	"repro/internal/store"
@@ -66,6 +64,38 @@ type Config struct {
 	// lifetime) replay from disk, Recover re-enqueues interrupted jobs
 	// at boot, and the /store admin surface exposes stats/GC/quarantine.
 	Store *store.Store
+	// WorkerID, when set, suffixes this process's checkpoint files
+	// ("<key>~<worker>.ckpt") so fleet workers sharing a checkpoint
+	// directory can never interleave writes into the same
+	// cache-key-named file; resume discovery still finds any owner's
+	// orphan (see findResume).
+	WorkerID string
+	// Executor, when set, replaces local job execution — the cluster
+	// coordinator installs a Dispatcher here, so admitted jobs execute
+	// on the worker fleet while admission control, queueing, SSE
+	// streams, cancellation, and metrics stay exactly the single-process
+	// surface.
+	Executor Executor
+}
+
+// Outcome is an executor's report of one successfully completed job.
+type Outcome struct {
+	Solved  bool
+	Shared  bool
+	Resumed bool
+	Stored  bool
+	Best    float64
+	Gens    int
+}
+
+// Executor runs one admitted job to completion, streaming its
+// per-generation records through sink (live or replayed — the job's
+// subscribers cannot tell). A returned error with ctx cancelled marks
+// the job cancelled; any other error marks it failed. Implementations
+// may publish the live runner via j.PublishRunner for on-demand
+// checkpointing.
+type Executor interface {
+	Execute(ctx context.Context, j *Job, sink hwsim.Sink) (Outcome, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +152,7 @@ type Scheduler struct {
 
 	running atomic.Int64
 
+	exec      Executor
 	counters  *hwsim.Counters
 	ctrJobs   *hwsim.Counters
 	ctrStream *hwsim.Counters
@@ -164,6 +195,15 @@ func NewScheduler(cfg Config) *Scheduler {
 		// counters into this daemon's /metrics tree.
 		experiments.UseStore(cfg.Store)
 		s.counters.Adopt(cfg.Store.Counters())
+	}
+	s.exec = cfg.Executor
+	if s.exec == nil {
+		s.exec = &localExecutor{cfg: cfg}
+	}
+	if cw, ok := s.exec.(interface{ Counters() *hwsim.Counters }); ok {
+		// An executor with its own registry (the cluster Dispatcher)
+		// mounts it into this daemon's /metrics tree.
+		s.counters.Adopt(cw.Counters())
 	}
 	s.ctrStream.OnSnapshot(func(c *hwsim.Counters) {
 		s.mu.Lock()
@@ -362,11 +402,13 @@ func (s *Scheduler) Recover() (store.RecoveryReport, []*Job) {
 	jobs := make([]*Job, 0, len(rep.Interrupted))
 	for _, key := range rep.Interrupted {
 		j, err := s.Submit(Spec{
-			Workload:    key.Workload,
-			Population:  key.Population,
-			Generations: key.Generations,
-			Seed:        key.Seed,
-			Client:      "(recovery)",
+			Workload:       key.Workload,
+			Population:     key.Population,
+			Generations:    key.Generations,
+			Seed:           key.Seed,
+			Islands:        key.Islands,
+			MigrationEvery: key.MigrationEvery,
+			Client:         "(recovery)",
 		})
 		if err != nil {
 			// Queue full or an unloadable workload: the checkpoint stays
@@ -388,7 +430,9 @@ func (s *Scheduler) worker() {
 	}
 }
 
-// runJob executes one admitted job through the shared run cache.
+// runJob executes one admitted job through the configured executor —
+// the shared run cache locally, or the cluster dispatcher on a
+// coordinator.
 func (s *Scheduler) runJob(j *Job) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
@@ -407,32 +451,7 @@ func (s *Scheduler) runJob(j *Job) {
 		s.ctrStream.AddInt("records_streamed", 1)
 	}), j.stream)
 
-	req := experiments.SharedRequest{
-		Workload:    j.Spec.Workload,
-		Population:  j.Spec.Population,
-		Generations: j.Spec.Generations,
-		Seed:        j.Spec.Seed,
-		Ctx:         ctx,
-		Sink:        sink,
-		Parallelism: s.cfg.RunnerParallelism,
-		BatchWidth:  s.cfg.RunnerBatchWidth,
-		OnRunner: func(r *evolve.Runner) {
-			j.runner.Store(r)
-			j.mu.Lock()
-			asked := j.ckptAsked
-			j.ckptAsked = false
-			j.mu.Unlock()
-			if asked {
-				r.RequestCheckpoint()
-			}
-		},
-	}
-	if s.cfg.CheckpointDir != "" {
-		req.CheckpointPath = filepath.Join(s.cfg.CheckpointDir, j.Spec.key()+".ckpt")
-		req.CheckpointEvery = s.cfg.CheckpointEvery
-	}
-
-	res, err := experiments.RunShared(req)
+	out, err := s.exec.Execute(ctx, j, sink)
 	j.runner.Store(nil)
 	switch {
 	case err != nil && ctx.Err() != nil:
@@ -440,32 +459,16 @@ func (s *Scheduler) runJob(j *Job) {
 	case err != nil:
 		s.finishJob(j, StateFailed, err.Error())
 	default:
-		if res.Stored {
+		if out.Stored {
 			s.ctrJobs.AddInt("store_hits", 1)
 		}
-		if !res.Computed {
-			// Served from the run cache (memory or disk tier): replay
-			// the memoized history so this job's subscribers see the
-			// same record stream a fresh execution would have produced.
+		if out.Shared {
 			s.ctrJobs.AddInt("shared_cache", 1)
-			for _, st := range res.Runner.History {
-				sink.Record(hwsim.Record{
-					Workload:   j.Spec.Workload,
-					Generation: st.Generation,
-					Report:     st.CounterReport(),
-				})
-			}
 		}
-		if res.Resumed {
+		if out.Resumed {
 			s.ctrJobs.AddInt("resumed", 1)
 		}
-		var best float64
-		for i, st := range res.Runner.History {
-			if i == 0 || st.MaxFitness > best {
-				best = st.MaxFitness
-			}
-		}
-		j.setOutcome(res.Solved, !res.Computed, res.Resumed, res.Stored, best, len(res.Runner.History))
+		j.setOutcome(out.Solved, out.Shared, out.Resumed, out.Stored, out.Best, out.Gens)
 		s.finishJob(j, StateDone, "")
 	}
 }

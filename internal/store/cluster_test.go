@@ -1,0 +1,105 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestParseKeyFilenameIslandFields pins the island-key filename format
+// ("-i<islands>-m<migrationEvery>" appended to the base tuple) and its
+// round trip.
+func TestParseKeyFilenameIslandFields(t *testing.T) {
+	good := map[string]Key{
+		"cartpole-p64-g30-s42-i4-m5.ckpt": {Workload: "cartpole", Population: 64, Generations: 30, Seed: 42, Islands: 4, MigrationEvery: 5},
+		"alien-ram-p32-g8-s7-i2-m1":       {Workload: "alien-ram", Population: 32, Generations: 8, Seed: 7, Islands: 2, MigrationEvery: 1},
+		// A workload whose own name ends in an island-like suffix still
+		// parses as an ordinary key when the numeric fields don't fit.
+		"w-i2-m3-p4-g5-s6": {Workload: "w-i2-m3", Population: 4, Generations: 5, Seed: 6},
+	}
+	for name, want := range good {
+		got, ok := ParseKeyFilename(name)
+		if !ok || got != want {
+			t.Errorf("ParseKeyFilename(%q) = %+v, %v; want %+v", name, got, ok, want)
+		}
+	}
+	bad := []string{
+		"cartpole-p64-g30-s42-i1-m5", // islands < 2
+		"cartpole-p64-g30-s42-i2-m0", // migration period < 1
+		"cartpole-p64-g30-s42-i02-m5",
+	}
+	for _, name := range bad {
+		if k, ok := ParseKeyFilename(name); ok {
+			t.Errorf("ParseKeyFilename(%q) accepted: %+v", name, k)
+		}
+	}
+}
+
+// TestParseKeyFilenameOwnerSuffix pins the worker-owned checkpoint
+// form "<key>~<owner>.ckpt": the owner is stripped, the key parses as
+// usual, so recovery attributes any worker's orphan to its run.
+func TestParseKeyFilenameOwnerSuffix(t *testing.T) {
+	cases := map[string]Key{
+		"cartpole-p64-g30-s42~a1b2c3d4.ckpt":       {Workload: "cartpole", Population: 64, Generations: 30, Seed: 42},
+		"cartpole-p64-g30-s42-i2-m5~ffee0011.ckpt": {Workload: "cartpole", Population: 64, Generations: 30, Seed: 42, Islands: 2, MigrationEvery: 5},
+	}
+	for name, want := range cases {
+		got, ok := ParseKeyFilename(name)
+		if !ok || got != want {
+			t.Errorf("ParseKeyFilename(%q) = %+v, %v; want %+v", name, got, ok, want)
+		}
+	}
+	if k, ok := ParseKeyFilename("~deadbeef.ckpt"); ok {
+		t.Errorf("bare owner suffix accepted: %+v", k)
+	}
+}
+
+// TestRecoverDedupesOwnedCheckpoints: two workers' checkpoints for the
+// same key (one orphaned by a crash, one from the re-dispatched run)
+// must surface the interrupted key once, not once per file.
+func TestRecoverDedupesOwnedCheckpoints(t *testing.T) {
+	root := t.TempDir()
+	ckptDir := filepath.Join(root, "ckpt")
+	if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"cartpole-p64-g30-s42~aaaa0000.ckpt",
+		"cartpole-p64-g30-s42~bbbb1111.ckpt",
+		"cartpole-p64-g30-s42.ckpt",
+	} {
+		if err := os.WriteFile(filepath.Join(ckptDir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := Open(Config{Root: root, CheckpointDir: ckptDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Recover()
+	if len(rep.Interrupted) != 1 {
+		t.Fatalf("Interrupted = %+v, want the one key exactly once", rep.Interrupted)
+	}
+	want := Key{Workload: "cartpole", Population: 64, Generations: 30, Seed: 42}
+	if rep.Interrupted[0] != want {
+		t.Fatalf("Interrupted[0] = %+v, want %+v", rep.Interrupted[0], want)
+	}
+}
+
+func TestKeyStringIslandValidate(t *testing.T) {
+	k := Key{Workload: "cartpole", Population: 64, Generations: 30, Seed: 42, Islands: 4, MigrationEvery: 5}
+	if got, want := k.String(), "cartpole-p64-g30-s42-i4-m5"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	if err := k.validate(); err != nil {
+		t.Fatalf("valid island key rejected: %v", err)
+	}
+	k.Islands = 1
+	if err := k.validate(); err == nil {
+		t.Fatal("islands=1 accepted")
+	}
+	k.Islands, k.MigrationEvery = 2, 0
+	if err := k.validate(); err == nil {
+		t.Fatal("migrationEvery=0 accepted")
+	}
+}

@@ -69,8 +69,12 @@ func (s *Store) Recover() RecoveryReport {
 	}
 
 	// Checkpoints: completed runs' checkpoints are reclaimed; the rest
-	// are interrupted runs to re-enqueue.
+	// are interrupted runs to re-enqueue. Owner-suffixed files
+	// ("<key>~<worker>.ckpt") from different workers can map to the same
+	// key, so the interrupted set is deduplicated — one re-enqueue per
+	// key no matter how many workers left a checkpoint behind.
 	if s.cfg.CheckpointDir != "" {
+		interrupted := map[Key]bool{}
 		entries, err := s.fs.ReadDir(s.cfg.CheckpointDir)
 		if err == nil {
 			for _, e := range entries {
@@ -88,7 +92,10 @@ func (s *Store) Recover() RecoveryReport {
 					}
 					continue
 				}
-				rep.Interrupted = append(rep.Interrupted, key)
+				if !interrupted[key] {
+					interrupted[key] = true
+					rep.Interrupted = append(rep.Interrupted, key)
+				}
 			}
 		}
 	}

@@ -71,11 +71,23 @@ type Key struct {
 	Population  int    `json:"population"`
 	Generations int    `json:"generations"`
 	Seed        uint64 `json:"seed"`
+	// Islands/MigrationEvery extend the tuple for island-model runs
+	// (both zero for ordinary runs — the PR 7 key space is unchanged).
+	// An island run is a different computation than an ordinary run of
+	// the same (workload, pop, gens, seed), so the fields are part of
+	// identity.
+	Islands        int `json:"islands,omitempty"`
+	MigrationEvery int `json:"migration_every,omitempty"`
 }
 
-// String renders the canonical form, e.g. "cartpole-p64-g30-s42".
+// String renders the canonical form, e.g. "cartpole-p64-g30-s42";
+// island runs append the island fields: "cartpole-p64-g30-s42-i4-m5".
 func (k Key) String() string {
-	return fmt.Sprintf("%s-p%d-g%d-s%d", k.Workload, k.Population, k.Generations, k.Seed)
+	base := fmt.Sprintf("%s-p%d-g%d-s%d", k.Workload, k.Population, k.Generations, k.Seed)
+	if k.Islands > 0 {
+		base += fmt.Sprintf("-i%d-m%d", k.Islands, k.MigrationEvery)
+	}
+	return base
 }
 
 // validate rejects keys that cannot address a sane artifact directory.
@@ -96,15 +108,46 @@ func (k Key) validate() error {
 	if k.Generations <= 0 {
 		return fmt.Errorf("store: generations %d", k.Generations)
 	}
+	if k.Islands != 0 || k.MigrationEvery != 0 {
+		if k.Islands < 2 {
+			return fmt.Errorf("store: islands %d (need >= 2)", k.Islands)
+		}
+		if k.MigrationEvery < 1 {
+			return fmt.Errorf("store: migration_every %d (need >= 1)", k.MigrationEvery)
+		}
+	}
 	return nil
 }
 
 // ParseKeyFilename recovers a Key from a checkpoint or artifact name
-// of the canonical form "<workload>-p<P>-g<G>-s<S>[.ckpt]". Workload
-// names may themselves contain dashes, so the numeric fields parse
-// from the right. It reports false for anything else.
+// of the canonical forms
+//
+//	<workload>-p<P>-g<G>-s<S>[-i<I>-m<M>][~<owner>][.ckpt]
+//
+// The "~<owner>" segment is the checkpoint owner suffix cluster-mode
+// workers append so two workers can never interleave writes into the
+// same checkpoint file; '~' never appears in a canonical key, so the
+// strip is unambiguous. Workload names may themselves contain dashes,
+// so the numeric fields parse from the right; the optional island
+// fields are accepted only when both parse round-trip clean, otherwise
+// the name is re-read as an ordinary key (a workload legitimately
+// ending in "-i3-m2" is impossible to confuse because the strict
+// numeric round-trip and key validation arbitrate). It reports false
+// for anything else.
 func ParseKeyFilename(name string) (Key, bool) {
 	name = strings.TrimSuffix(name, ".ckpt")
+	if i := strings.LastIndex(name, "~"); i >= 0 {
+		name = name[:i]
+	}
+	if k, ok := parseKeyName(name, true); ok {
+		return k, true
+	}
+	return parseKeyName(name, false)
+}
+
+// parseKeyName parses one canonical key name, optionally consuming the
+// trailing island fields.
+func parseKeyName(name string, islandFields bool) (Key, bool) {
 	var k Key
 	cut := func(sep string) (string, bool) {
 		i := strings.LastIndex(name, sep)
@@ -114,6 +157,23 @@ func ParseKeyFilename(name string) (Key, bool) {
 		field := name[i+len(sep):]
 		name = name[:i]
 		return field, true
+	}
+	// numeric enforces an exact round-trip, so "07" or "3x" never parse.
+	numeric := func(field string, dst *int) bool {
+		if _, err := fmt.Sscanf(field, "%d", dst); err != nil || fmt.Sprintf("%d", *dst) != field {
+			return false
+		}
+		return true
+	}
+	if islandFields {
+		m, ok := cut("-m")
+		if !ok || !numeric(m, &k.MigrationEvery) {
+			return Key{}, false
+		}
+		i, ok := cut("-i")
+		if !ok || !numeric(i, &k.Islands) {
+			return Key{}, false
+		}
 	}
 	s, ok := cut("-s")
 	if !ok {
@@ -130,10 +190,7 @@ func ParseKeyFilename(name string) (Key, bool) {
 	if _, err := fmt.Sscanf(s, "%d", &k.Seed); err != nil || fmt.Sprintf("%d", k.Seed) != s {
 		return Key{}, false
 	}
-	if _, err := fmt.Sscanf(g, "%d", &k.Generations); err != nil || fmt.Sprintf("%d", k.Generations) != g {
-		return Key{}, false
-	}
-	if _, err := fmt.Sscanf(p, "%d", &k.Population); err != nil || fmt.Sprintf("%d", k.Population) != p {
+	if !numeric(g, &k.Generations) || !numeric(p, &k.Population) {
 		return Key{}, false
 	}
 	k.Workload = name

@@ -8,13 +8,15 @@
 # trace replay), the serving-layer throughput bench (jobs/sec through a
 # real genesysd over loopback HTTP, serial vs parallel worker pool),
 # the persistent-store hit bench (bytes/sec through a verified
-# Get — the disk-replay fast path), and, unless BENCH_QUICK=1, the
-# full-suite harness bench plus the root figure-regeneration benches,
-# then renders everything into a machine-readable trajectory record via
-# cmd/benchjson:
+# Get — the disk-replay fast path), the cluster throughput bench (a
+# coordinator dispatching over loopback HTTP to a 1-worker vs 2-worker
+# fleet — the ratio is the cluster-scaling headline), and, unless
+# BENCH_QUICK=1, the full-suite harness bench plus the root
+# figure-regeneration benches, then renders everything into a
+# machine-readable trajectory record via cmd/benchjson:
 #
-#	scripts/bench.sh                 # full run, writes BENCH_PR7.json
-#	BENCH_QUICK=1 scripts/bench.sh   # kernel + replay + serve + store microbenches only
+#	scripts/bench.sh                 # full run, writes BENCH_PR8.json
+#	BENCH_QUICK=1 scripts/bench.sh   # kernel + replay + serve + store + cluster microbenches only
 #
 # The JSON carries ns/op, B/op, allocs/op and custom figure metrics for
 # every benchmark, the pinned pre-PR baselines, and headline speedup
@@ -23,7 +25,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_PR7.json}
+out=${BENCH_OUT:-BENCH_PR8.json}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
@@ -46,6 +48,10 @@ go test -run=NONE -bench='BenchmarkServeThroughput' \
 echo "== store hit bench (verified disk replay, bytes/sec)"
 go test -run=NONE -bench='BenchmarkStoreHitThroughput' \
     -benchmem -count=3 -benchtime=1s ./internal/store/ | tee -a "$tmp"
+
+echo "== cluster throughput bench (coordinator + fleet, 1 vs 2 workers)"
+go test -run=NONE -bench='BenchmarkClusterThroughput' \
+    -benchmem -count=2 -benchtime=1s ./internal/serve/ | tee -a "$tmp"
 
 if [ "${BENCH_QUICK:-0}" != "1" ]; then
     echo "== experiment-suite bench (full harness, cold cache per iteration)"

@@ -37,15 +37,17 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (evolve, network, env, hw, experiments, serve, store)"
+echo "== go test -race (evolve, network, env, hw, experiments, serve, store, cluster)"
 # env is in the race set since the batch engine: BatchEnv lane state is
 # advanced by evaluation workers whose batch tests (network batch
 # differential, env lockstep, evolve batch-vs-serial) all run here.
 # store is in it since the persistent run store: commits, hits, GC, and
-# quarantine all cross the scheduler's worker pool.
+# quarantine all cross the scheduler's worker pool. cluster is in it
+# since fleet mode: membership heartbeats, ring rebuilds, and the
+# sharded island session protocol are all cross-goroutine.
 go test -race ./internal/evolve/... ./internal/network/... ./internal/env/... \
     ./internal/hw/... ./internal/experiments/... ./internal/serve/... \
-    ./internal/store/...
+    ./internal/store/... ./internal/cluster/...
 
 echo "== genesysd smoke (real binaries, ephemeral port)"
 smokedir=$(mktemp -d)
@@ -107,6 +109,73 @@ echo "$out2" | grep -q "stored=true" || { echo "restart did not replay from the 
     || { echo "metrics missing the store hit" >&2; exit 1; }
 kill -TERM "$daemon"
 wait "$daemon" || { echo "genesysd exited non-zero on SIGTERM" >&2; exit 1; }
+
+echo "== cluster fleet smoke (coordinator + 2 workers, kill -9 one mid-job)"
+# A real 3-process fleet over loopback: the coordinator admits, two
+# workers execute against a shared checkpoint directory. One worker is
+# SIGKILLed while it runs the job; the coordinator must mark it dead,
+# re-dispatch, and the survivor must resume from the orphaned
+# checkpoint — the watch stream ends done with resumed=true.
+fleetckpt="$smokedir/fleet-ckpt"
+"$smokedir/genesysd" -coordinator -addr 127.0.0.1:0 -addr-file "$smokedir/coord-addr" \
+    -heartbeat-every 200ms -heartbeat-timeout 300ms -fail-after 2 &
+coord=$!
+for _ in $(seq 1 100); do
+    [ -s "$smokedir/coord-addr" ] && break
+    sleep 0.1
+done
+coord_addr="http://$(cat "$smokedir/coord-addr")"
+"$smokedir/genesysd" -worker -join "$coord_addr" -addr 127.0.0.1:0 \
+    -addr-file "$smokedir/w1-addr" -checkpoint-dir "$fleetckpt" -checkpoint-every 1 &
+w1=$!
+"$smokedir/genesysd" -worker -join "$coord_addr" -addr 127.0.0.1:0 \
+    -addr-file "$smokedir/w2-addr" -checkpoint-dir "$fleetckpt" -checkpoint-every 1 &
+w2=$!
+for _ in $(seq 1 150); do
+    alive=$("$smokedir/genesysctl" -addr "$coord_addr" cluster | grep -c " true " || true)
+    [ "$alive" -ge 2 ] && break
+    sleep 0.1
+done
+[ "$alive" -ge 2 ] || { echo "workers never joined the fleet" >&2; exit 1; }
+w1_addr="http://$(cat "$smokedir/w1-addr")"
+w2_addr="http://$(cat "$smokedir/w2-addr")"
+# A slow job (the RAM workload, generous generation budget) so the
+# victim is reliably mid-run when killed.
+"$smokedir/genesysctl" -addr "$coord_addr" submit \
+    -workload alien-ram -pop 30 -generations 40 -seed 4242 -watch \
+    > "$smokedir/fleet-watch" 2>&1 &
+watcher=$!
+# Find the worker actually running it, wait for its first *completed*
+# checkpoint (a rename-committed .ckpt — a .ckpt.tmp still staging
+# would be torn by the kill and resume nothing), then kill -9.
+victim=""
+for _ in $(seq 1 200); do
+    if "$smokedir/genesysctl" -addr "$w1_addr" list | grep -q running; then victim=$w1; break; fi
+    if "$smokedir/genesysctl" -addr "$w2_addr" list | grep -q running; then victim=$w2; break; fi
+    sleep 0.1
+done
+[ -n "$victim" ] || { echo "no worker picked the job up" >&2; exit 1; }
+has_ckpt() { find "$fleetckpt" -name '*.ckpt' 2>/dev/null | grep -q .; }
+for _ in $(seq 1 200); do
+    has_ckpt && break
+    sleep 0.1
+done
+has_ckpt || { echo "no checkpoint before kill" >&2; exit 1; }
+kill -9 "$victim"
+wait "$victim" 2>/dev/null || true
+wait "$watcher" || { echo "fleet watch exited non-zero" >&2; cat "$smokedir/fleet-watch" >&2; exit 1; }
+tail -3 "$smokedir/fleet-watch"
+grep -q ": done solved=" "$smokedir/fleet-watch" \
+    || { echo "fleet job did not finish after worker kill" >&2; cat "$smokedir/fleet-watch" >&2; exit 1; }
+grep -q "resumed=true" "$smokedir/fleet-watch" \
+    || { echo "failover did not resume from the orphaned checkpoint" >&2; cat "$smokedir/fleet-watch" >&2; exit 1; }
+"$smokedir/genesysctl" -addr "$coord_addr" metrics | grep -q '"redispatched": ' \
+    || { echo "metrics missing the cluster redispatch counter" >&2; exit 1; }
+kill -TERM "$coord" 2>/dev/null || true
+for p in "$w1" "$w2"; do kill -TERM "$p" 2>/dev/null || true; done
+wait "$coord" 2>/dev/null || true
+wait "$w1" 2>/dev/null || true
+wait "$w2" 2>/dev/null || true
 rm -rf "$smokedir"
 
 echo "== bench smoke (kernel + batch + replay trajectory benches, 1 iteration)"
@@ -125,6 +194,8 @@ go test -run=NONE -bench='BenchmarkServeThroughput' \
     -benchtime=1x ./internal/serve/
 go test -run=NONE -bench='BenchmarkStoreHitThroughput' \
     -benchtime=1x ./internal/store/
+go test -run=NONE -bench='BenchmarkClusterThroughput' \
+    -benchtime=1x ./internal/serve/
 
 echo "== fuzz smoke (trace, neat checkpoint, store manifest)"
 # -fuzzminimizetime is bounded in execs: the default 60s-per-input
