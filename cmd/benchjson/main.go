@@ -97,6 +97,14 @@ type Document struct {
 // EvaluateGeneration value (benchPR5EvaluateGeneration below) is the
 // acceptance denominator for the PR6 ≥2× target; the 7603cf6 pin is
 // the stricter same-session number.
+// PR9 reproduction-kernel benches (at b226e8f, best-of-3 on the same
+// host): BenchmarkSpeciate and BenchmarkEpoch did not exist pre-change,
+// so each pin re-measures the identical benchmark body (RAM-scale
+// 128×18 population of 150, 8 diversification epochs, seed 3) against
+// the pre-kernel speciation/reproduction code — per-gene binary-search
+// distances, no memo, serial, full refresh recomputation.
+// BenchmarkCompatDistanceRAMScale existed since PR1 but reported no
+// allocations; its pin re-measures the pre-merge-join distance body.
 var baselines = map[string]Baseline{
 	"BenchmarkNetworkCompile":          {Commit: "a523566", NsPerOp: 10884, BPerOp: 8888, Allocs: 101},
 	"BenchmarkNetworkFeed":             {Commit: "a523566", NsPerOp: 450.9, BPerOp: 280, Allocs: 6},
@@ -107,6 +115,9 @@ var baselines = map[string]Baseline{
 	"BenchmarkServeThroughput/j=1":     {Commit: "cb021f3", NsPerOp: 1183991, BPerOp: 1187224, Allocs: 1454},
 	"BenchmarkNetworkFeedBatch":        {Commit: "7603cf6", NsPerOp: 178.8},
 	"BenchmarkEvaluateGenerationBatch": {Commit: "7603cf6", NsPerOp: 508671, BPerOp: 7704, Allocs: 193},
+	"BenchmarkSpeciate":                {Commit: "b226e8f", NsPerOp: 95690089, BPerOp: 4544, Allocs: 11},
+	"BenchmarkEpoch":                   {Commit: "b226e8f", NsPerOp: 158203480, BPerOp: 34322372, Allocs: 14318},
+	"BenchmarkCompatDistanceRAMScale":  {Commit: "b226e8f", NsPerOp: 305833},
 }
 
 // benchPR5EvaluateGeneration is the BenchmarkEvaluateGeneration value

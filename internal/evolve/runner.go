@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/env"
 	"repro/internal/gene"
@@ -125,6 +126,14 @@ type Runner struct {
 	// post-evaluation (before reproduction replaces the population), so
 	// island-model migration can export it after the fact; see Champion.
 	TrackChampion bool
+	// Phases, when set, receives per-phase wall-clock accounting from
+	// every Step: evaluate_ns / speciate_ns / reproduce_ns accumulated
+	// across generations, plus a generations count. Wall-clock is
+	// host-dependent by nature, so it lives only in this live counter
+	// node (surfaced through /metrics) and is deliberately kept out of
+	// GenStats and the per-generation record stream, which are pinned
+	// byte-identical across hosts and replays.
+	Phases *hwsim.Counters
 
 	// champion is the latest tracked best genome (TrackChampion).
 	champion *gene.Genome
@@ -533,10 +542,12 @@ func (r *Runner) runEpisodes(net *network.Network, e env.Env, shaper Shaper, g *
 // generation re-evaluates deterministically on resume.
 func (r *Runner) Step(ctx context.Context) (GenStats, error) {
 	w := r.Workload
+	evalStart := time.Now()
 	envSteps, macs, updates, err := r.EvaluateGeneration(ctx)
 	if err != nil {
 		return GenStats{}, err
 	}
+	evalDur := time.Since(evalStart)
 
 	best := r.Pop.Best()
 	if r.TrackChampion {
@@ -562,17 +573,37 @@ func (r *Runner) Step(ctx context.Context) (GenStats, error) {
 	st.NormMean = w.Normalize(st.MeanFitness)
 	st.Solved = st.MaxFitness >= w.Target
 
+	var speciateDur, reproduceDur time.Duration
 	if !st.Solved {
 		r.opCounts.Reset()
+		// The epoch rides the same parallelism budget as the evaluation
+		// pool: its distance pass fans out over bounded workers while
+		// assignment and reproduction stay serial (outputs identical at
+		// every setting).
+		epochWorkers := r.Parallelism
+		if mp := runtime.GOMAXPROCS(0); epochWorkers <= 0 || epochWorkers > mp {
+			epochWorkers = mp
+		}
+		r.Pop.EpochParallelism = epochWorkers
+		epochStart := time.Now()
 		repro, err := r.Pop.Epoch()
 		if err != nil {
 			return GenStats{}, err
 		}
+		epochDur := time.Since(epochStart)
+		speciateDur = repro.SpeciateDur
+		reproduceDur = epochDur - speciateDur
 		st.NumSpecies = repro.NumSpecies
 		st.CrossoverOps = r.opCounts.Crossovers()
 		st.MutationOps = r.opCounts.Mutations()
 		st.FittestParentReuse = repro.FittestParentReuse
 		st.MaxParentReuse = repro.MaxParentReuse
+	}
+	if r.Phases != nil {
+		r.Phases.AddInt("generations", 1)
+		r.Phases.AddInt("evaluate_ns", evalDur.Nanoseconds())
+		r.Phases.AddInt("speciate_ns", speciateDur.Nanoseconds())
+		r.Phases.AddInt("reproduce_ns", reproduceDur.Nanoseconds())
 	}
 
 	r.History = append(r.History, st)

@@ -69,6 +69,11 @@ type SharedRequest struct {
 	// by the computing goroutine; callers must only use the
 	// goroutine-safe Runner surface.
 	OnRunner func(*evolve.Runner)
+	// Phases, when set, receives the runner's per-phase wall-clock
+	// counters (evaluate/speciate/reproduce) on a cache miss — a live
+	// accounting node, not part of the cache key or the memoized run.
+	// Cache hits and store replays execute no phases and charge nothing.
+	Phases *hwsim.Counters
 }
 
 // SharedRun is the outcome of a shared-cache request.
@@ -187,6 +192,7 @@ func evolveSharedLocked(req SharedRequest, out *SharedRun) (*evolved, error) {
 	r.Parallelism = req.Parallelism
 	r.BatchWidth = req.BatchWidth
 	r.Sink = req.Sink
+	r.Phases = req.Phases
 	tr := &trace.Trace{}
 	r.SetRecorder(tr)
 	if req.CheckpointPath != "" {

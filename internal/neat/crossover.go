@@ -22,23 +22,41 @@ func (m *mutator) crossover(p1, p2 *gene.Genome, childID int64) *gene.Genome {
 	child.Nodes = make([]gene.Gene, 0, len(p1.Nodes))
 	child.Conns = make([]gene.Gene, 0, len(p1.Conns))
 
+	// Merge-join gene alignment: both parents keep Nodes sorted by id
+	// and Conns sorted by (Src, Dst), so matching genes are found by
+	// advancing a single p2 cursor instead of a binary search per p1
+	// gene. PRNG draws happen only at matches, in p1 order — exactly
+	// where the lookup-based alignment drew them.
+	j := 0
 	for _, n1 := range p1.Nodes {
+		for j < len(p2.Nodes) && p2.Nodes[j].NodeID < n1.NodeID {
+			j++
+		}
 		n := n1
-		if n2, ok := p2.Node(n1.NodeID); ok {
-			n = m.mixNode(n1, n2)
+		if j < len(p2.Nodes) && p2.Nodes[j].NodeID == n1.NodeID {
+			n = m.mixNode(n1, p2.Nodes[j])
 		}
 		child.Nodes = append(child.Nodes, n)
 		m.emit(OpCrossover, n.Key())
 	}
+	j = 0
 	for _, c1 := range p1.Conns {
+		for j < len(p2.Conns) && connKeyLess(&p2.Conns[j], &c1) {
+			j++
+		}
 		c := c1
-		if c2, ok := p2.Conn(c1.Src, c1.Dst); ok {
-			c = m.mixConn(c1, c2)
+		if j < len(p2.Conns) && p2.Conns[j].Src == c1.Src && p2.Conns[j].Dst == c1.Dst {
+			c = m.mixConn(c1, p2.Conns[j])
 		}
 		child.Conns = append(child.Conns, c)
 		m.emit(OpCrossover, c.Key())
 	}
 	return child
+}
+
+// connKeyLess orders connection genes by their (Src, Dst) sort key.
+func connKeyLess(a, b *gene.Gene) bool {
+	return a.Src < b.Src || (a.Src == b.Src && a.Dst < b.Dst)
 }
 
 // pick1 reports whether the attribute should come from the fitter

@@ -1,0 +1,240 @@
+package neat
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/env"
+)
+
+// diversify runs a few reproduction rounds with synthetic fitness so
+// the population develops real topological and attribute diversity —
+// multiple species, disjoint genes, perturbed weights — before a test
+// or benchmark measures the kernel on it.
+func diversify(tb testing.TB, p *Population, epochs int) {
+	tb.Helper()
+	for e := 0; e < epochs; e++ {
+		for j, g := range p.Genomes {
+			g.Fitness = float64((e*7 + j) % 17)
+		}
+		if _, err := p.Epoch(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+// TestCompatDistanceMatchesReference pins the merge-join distance
+// kernel bit-identical to the binary-search reference over genuinely
+// evolved genome pairs (disjoint genes, deleted nodes, perturbed
+// attributes), and checks the symmetry the memo key relies on.
+func TestCompatDistanceMatchesReference(t *testing.T) {
+	for _, shape := range []struct{ in, out int }{{4, 2}, {16, 4}} {
+		cfg := DefaultConfig(shape.in, shape.out)
+		cfg.PopulationSize = 24
+		p, err := NewPopulation(cfg, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diversify(t, p, 6)
+		for i, a := range p.Genomes {
+			for _, b := range p.Genomes[i:] {
+				want := slowCompatDistance(a, b, &cfg)
+				got := CompatDistance(a, b, &cfg)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("shape %dx%d: CompatDistance(%d,%d) = %v, reference %v",
+						shape.in, shape.out, a.ID, b.ID, got, want)
+				}
+				rev := CompatDistance(b, a, &cfg)
+				if math.Float64bits(rev) != math.Float64bits(got) {
+					t.Fatalf("shape %dx%d: asymmetric distance (%d,%d): %v vs %v",
+						shape.in, shape.out, a.ID, b.ID, got, rev)
+				}
+			}
+		}
+	}
+}
+
+// TestEpochKernelMatchesReference is the golden-digest differential of
+// the reproduction kernel: two same-seeded populations evolve side by
+// side — one through the kernel (memoized merge-join distances,
+// parallel distance rows, refresh reuse), one through the pre-kernel
+// reference path (speciator slow mode) — across every workload
+// environment shape × several seeds. Each generation, the serialized
+// populations (genome ids, gene lists, species, PRNG stream) must be
+// byte-identical and the ReproStats equal; any divergence in distance
+// bits, tie-breaking, or PRNG consumption order trips it immediately.
+func TestEpochKernelMatchesReference(t *testing.T) {
+	// One env name per workload family (workload.go); shapes dedupe —
+	// the four *-ram workloads share the 128-observation RAM shape.
+	envNames := []string{
+		"cartpole", "mountaincar", "acrobot", "lunarlander",
+		"bipedal", "mario", "airraid-ram", "alien-ram",
+		"asterix-ram", "amidar-ram",
+	}
+	type shape struct{ in, out int }
+	seen := map[shape]bool{}
+	for _, name := range envNames {
+		probe, err := env.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh := shape{probe.ObservationSize(), probe.ActionSize()}
+		if seen[sh] {
+			continue
+		}
+		seen[sh] = true
+
+		for seed := uint64(1); seed <= 3; seed++ {
+			cfg := DefaultConfig(sh.in, sh.out)
+			cfg.PopulationSize = 48
+			fast, err := NewPopulation(cfg, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Force real fan-out in the parallel distance pass even on a
+			// single-core host.
+			fast.EpochParallelism = 4
+			slow, err := NewPopulation(cfg, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow.spec.slow = true
+
+			for gen := 0; gen < 5; gen++ {
+				for j := range fast.Genomes {
+					f := float64((gen*13+j*7)%23) / 3
+					fast.Genomes[j].Fitness = f
+					slow.Genomes[j].Fitness = f
+				}
+				fs, ferr := fast.Epoch()
+				ss, serr := slow.Epoch()
+				if (ferr == nil) != (serr == nil) {
+					t.Fatalf("%s seed %d gen %d: kernel err %v, reference err %v",
+						name, seed, gen, ferr, serr)
+				}
+				if ferr != nil {
+					break
+				}
+				fs.SpeciateDur, ss.SpeciateDur = 0, 0
+				if !reflect.DeepEqual(fs, ss) {
+					t.Fatalf("%s seed %d gen %d: ReproStats diverged\nkernel:    %+v\nreference: %+v",
+						name, seed, gen, fs, ss)
+				}
+				var fb, sb bytes.Buffer
+				if err := fast.Save(&fb); err != nil {
+					t.Fatal(err)
+				}
+				if err := slow.Save(&sb); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(fb.Bytes(), sb.Bytes()) {
+					for j := range fast.Genomes {
+						fg, sg := fast.Genomes[j], slow.Genomes[j]
+						if fg.ID != sg.ID || !reflect.DeepEqual(fg.Nodes, sg.Nodes) ||
+							!reflect.DeepEqual(fg.Conns, sg.Conns) {
+							t.Fatalf("%s seed %d gen %d: genome slot %d diverged (kernel id %d, reference id %d)",
+								name, seed, gen, j, fg.ID, sg.ID)
+						}
+					}
+					t.Fatalf("%s seed %d gen %d: serialized populations diverged outside genome slots",
+						name, seed, gen)
+				}
+			}
+		}
+	}
+}
+
+// TestSpeciateMemoWarmPath pins that a warm memo (the steady daemon
+// state) still yields the identical partition: same population, two
+// speciators — one cold, one that already speciated the same inputs —
+// must produce identical species.
+func TestSpeciateMemoWarmPath(t *testing.T) {
+	cfg := DefaultConfig(8, 4)
+	cfg.PopulationSize = 32
+	p, err := NewPopulation(cfg, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diversify(t, p, 5)
+
+	var warm speciator
+	id1 := p.nextSpeciesID
+	first := warm.speciate(p.Genomes, p.Species, &p.Config, p.Generation, &id1)
+	id2 := p.nextSpeciesID
+	second := warm.speciate(p.Genomes, p.Species, &p.Config, p.Generation, &id2)
+
+	var cold speciator
+	id3 := p.nextSpeciesID
+	ref := cold.speciate(p.Genomes, p.Species, &p.Config, p.Generation, &id3)
+
+	if id1 != id2 || id1 != id3 {
+		t.Fatalf("species id allocation diverged: %d %d %d", id1, id2, id3)
+	}
+	for _, got := range [][]*Species{first, second} {
+		if len(got) != len(ref) {
+			t.Fatalf("species count %d, want %d", len(got), len(ref))
+		}
+		for i := range got {
+			if got[i].ID != ref[i].ID ||
+				got[i].Representative.ID != ref[i].Representative.ID ||
+				len(got[i].Members) != len(ref[i].Members) {
+				t.Fatalf("species %d diverged: {id %d rep %d n %d} vs {id %d rep %d n %d}",
+					i, got[i].ID, got[i].Representative.ID, len(got[i].Members),
+					ref[i].ID, ref[i].Representative.ID, len(ref[i].Members))
+			}
+			for j := range got[i].Members {
+				if got[i].Members[j].ID != ref[i].Members[j].ID {
+					t.Fatalf("species %d member %d: %d vs %d",
+						i, j, got[i].Members[j].ID, ref[i].Members[j].ID)
+				}
+			}
+		}
+	}
+}
+
+// benchPopulation builds a diversified RAM-scale population — the
+// heaviest workload shape, where speciation dominated generation time
+// before the kernel.
+func benchPopulation(b *testing.B, inputs, outputs, pop, epochs int) *Population {
+	b.Helper()
+	cfg := DefaultConfig(inputs, outputs)
+	cfg.PopulationSize = pop
+	p, err := NewPopulation(cfg, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	diversify(b, p, epochs)
+	return p
+}
+
+// BenchmarkSpeciate measures one cold speciation pass (fresh speciator
+// per iteration — no memo carry-over, so the number isolates the
+// merge-join distance kernel) at the RAM workload scale.
+func BenchmarkSpeciate(b *testing.B) {
+	p := benchPopulation(b, 128, 18, 150, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := p.nextSpeciesID
+		speciate(p.Genomes, p.Species, &p.Config, p.Generation, &id)
+	}
+}
+
+// BenchmarkEpoch measures the full reproduction round — speciation
+// (warm memo, the steady state), culling, apportionment, crossover,
+// mutation — at the RAM workload scale.
+func BenchmarkEpoch(b *testing.B) {
+	p := benchPopulation(b, 128, 18, 150, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, g := range p.Genomes {
+			g.Fitness = float64((i + j) % 13)
+		}
+		if _, err := p.Epoch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

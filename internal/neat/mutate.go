@@ -1,6 +1,8 @@
 package neat
 
 import (
+	"sort"
+
 	"repro/internal/gene"
 	"repro/internal/rng"
 )
@@ -14,11 +16,22 @@ type mutator struct {
 	rnd *rng.XorWow
 	rec Recorder
 	ids *idAssigner
+	// scratch holds the population's reusable buffers (candidate-id
+	// slices, cycle-search visited set). Lazily allocated when the
+	// mutator is built standalone, e.g. in tests.
+	scratch *epochScratch
 
 	generation int
 	child      int64
 	parent1    int64
 	parent2    int64
+}
+
+func (m *mutator) scratchBuf() *epochScratch {
+	if m.scratch == nil {
+		m.scratch = &epochScratch{}
+	}
+	return m.scratch
 }
 
 func (m *mutator) emit(op Op, k gene.Key) {
@@ -123,9 +136,27 @@ func (m *mutator) deleteGenes(g *gene.Genome) {
 	cfg, r := m.cfg, m.rnd
 	deletedNodes := 0
 	if r.Bool(cfg.DeleteNodeProb) && deletedNodes < cfg.MaxDeletedNodes {
-		hidden := g.HiddenIDs()
-		if len(hidden) > 0 {
-			id := hidden[r.Intn(len(hidden))]
+		// Count-then-pick the k-th hidden node in ascending-id order —
+		// the same draw and the same victim as indexing g.HiddenIDs()
+		// (Nodes are id-sorted), without materializing the id slice.
+		hiddenCount := 0
+		for _, n := range g.Nodes {
+			if n.Type == gene.Hidden {
+				hiddenCount++
+			}
+		}
+		if hiddenCount > 0 {
+			k := r.Intn(hiddenCount)
+			var id int32
+			for _, n := range g.Nodes {
+				if n.Type == gene.Hidden {
+					if k == 0 {
+						id = n.NodeID
+						break
+					}
+					k--
+				}
+			}
 			// Count the node and each pruned connection as deletion ops.
 			for _, c := range g.Conns {
 				if c.Src == id || c.Dst == id {
@@ -162,11 +193,29 @@ func (m *mutator) addGenes(g *gene.Genome) {
 // with n a fresh node carrying default attributes.
 func (m *mutator) addNode(g *gene.Genome) {
 	r := m.rnd
-	enabled := g.EnabledConns()
-	if len(enabled) == 0 {
+	// Count-then-pick the k-th enabled connection in key order — the
+	// same draw and victim as indexing g.EnabledConns() without the
+	// slice allocation.
+	enabledCount := 0
+	for i := range g.Conns {
+		if g.Conns[i].Enabled {
+			enabledCount++
+		}
+	}
+	if enabledCount == 0 {
 		return
 	}
-	c := enabled[r.Intn(len(enabled))]
+	k := r.Intn(enabledCount)
+	var c gene.Gene
+	for i := range g.Conns {
+		if g.Conns[i].Enabled {
+			if k == 0 {
+				c = g.Conns[i]
+				break
+			}
+			k--
+		}
+	}
 	id := m.ids.nodeIDForSplit(g, c.Src, c.Dst)
 	if id > gene.MaxNodeID || g.HasNode(id) {
 		return
@@ -190,8 +239,8 @@ func (m *mutator) addNode(g *gene.Genome) {
 // hidden node, dst is a hidden or output node, the pair is not already
 // connected, and (in feed-forward mode) the edge does not close a cycle.
 func (m *mutator) addConn(g *gene.Genome) {
-	r := m.rnd
-	var srcs, dsts []int32
+	r, s := m.rnd, m.scratchBuf()
+	srcs, dsts := s.srcs[:0], s.dsts[:0]
 	for _, n := range g.Nodes {
 		if n.Type != gene.Output {
 			srcs = append(srcs, n.NodeID)
@@ -200,6 +249,7 @@ func (m *mutator) addConn(g *gene.Genome) {
 			dsts = append(dsts, n.NodeID)
 		}
 	}
+	s.srcs, s.dsts = srcs, dsts
 	if len(srcs) == 0 || len(dsts) == 0 {
 		return
 	}
@@ -211,7 +261,7 @@ func (m *mutator) addConn(g *gene.Genome) {
 		if src == dst || g.HasConn(src, dst) {
 			continue
 		}
-		if m.cfg.FeedForwardOnly && createsCycle(g, src, dst) {
+		if m.cfg.FeedForwardOnly && cycleSearch(g, src, dst, s) {
 			continue
 		}
 		c := gene.NewConn(src, dst, clampAttr(r.NormFloat64()*m.cfg.WeightInitPower))
@@ -224,28 +274,42 @@ func (m *mutator) addConn(g *gene.Genome) {
 // createsCycle reports whether adding edge src→dst would close a cycle,
 // i.e. whether dst already reaches src through existing connections.
 func createsCycle(g *gene.Genome, src, dst int32) bool {
+	var s epochScratch
+	return cycleSearch(g, src, dst, &s)
+}
+
+// cycleSearch is the depth-first reachability walk behind createsCycle.
+// Instead of materializing an adjacency map per call, it exploits the
+// (Src, Dst) sort invariant of g.Conns: a node's out-edges are one
+// contiguous run, located by binary search. The visited set and DFS
+// stack live in the caller's scratch.
+func cycleSearch(g *gene.Genome, src, dst int32, s *epochScratch) bool {
 	if src == dst {
 		return true
 	}
-	// Depth-first search from dst following existing edges.
-	adj := make(map[int32][]int32, len(g.Nodes))
-	for _, c := range g.Conns {
-		adj[c.Src] = append(adj[c.Src], c.Dst)
+	if s.seen == nil {
+		s.seen = make(map[int32]bool, len(g.Nodes))
+	} else {
+		clear(s.seen)
 	}
-	stack := []int32{dst}
-	seen := map[int32]bool{dst: true}
+	stack := append(s.stack[:0], dst)
+	s.seen[dst] = true
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if n == src {
+			s.stack = stack
 			return true
 		}
-		for _, next := range adj[n] {
-			if !seen[next] {
-				seen[next] = true
+		lo := sort.Search(len(g.Conns), func(i int) bool { return g.Conns[i].Src >= n })
+		for i := lo; i < len(g.Conns) && g.Conns[i].Src == n; i++ {
+			next := g.Conns[i].Dst
+			if !s.seen[next] {
+				s.seen[next] = true
 				stack = append(stack, next)
 			}
 		}
 	}
+	s.stack = stack
 	return false
 }

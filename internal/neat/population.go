@@ -2,7 +2,9 @@ package neat
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"time"
 
 	"repro/internal/gene"
 	"repro/internal/rng"
@@ -24,12 +26,47 @@ type Population struct {
 	// BestEver is a copy of the highest-fitness genome observed across
 	// all generations.
 	BestEver *gene.Genome
+	// EpochParallelism bounds the workers of the speciation kernel's
+	// parallel distance pass (0 = GOMAXPROCS). Purely an execution-shape
+	// knob: the epoch's outputs are byte-identical at every setting —
+	// the distances fanned out are pure functions of the genomes, and
+	// assignment stays serial. Never serialized.
+	EpochParallelism int
 
 	rnd           *rng.XorWow
 	ids           *idAssigner
 	rec           Recorder
 	nextGenomeID  int64
 	nextSpeciesID int
+
+	// spec is the speciation kernel's cross-generation state (distance
+	// memo + scratch); scratch is the reproduction side's reusable
+	// buffers. Neither is serialized — a restored population rebuilds
+	// both lazily.
+	spec    speciator
+	scratch epochScratch
+}
+
+// epochScratch is the reproduction machinery's reusable per-population
+// storage: sort buffers, the parent-use ledger, the survivor set, and
+// the mutation-stage scratch. One generation's reproduction allocates
+// only what escapes into the next generation (the child genomes
+// themselves).
+type epochScratch struct {
+	members   []*gene.Genome // per-species fitness-sort buffer
+	parents   []*gene.Genome // allParents concatenation buffer
+	ordered   []*Species     // cullStagnant sort buffer
+	survivors []*Species
+	surviving map[int]bool
+	parentUse map[int64]int
+	means     []float64
+	quotas    []int
+
+	// Mutation-stage scratch (see mutate.go).
+	srcs  []int32
+	dsts  []int32
+	seen  map[int32]bool
+	stack []int32
 }
 
 // NewPopulation builds the initial population: PopulationSize genomes
@@ -151,7 +188,8 @@ type ReproStats struct {
 	// Elites copied verbatim.
 	Elites int
 	// ParentUse maps parent genome id → number of children it
-	// contributed to (either slot).
+	// contributed to (either slot). The map is reused scratch: it is
+	// valid until the population's next Epoch call (copy it to retain).
 	ParentUse map[int64]int
 	// FittestParentID / FittestParentReuse report how many children the
 	// generation's fittest genome parented — the genome-level-reuse
@@ -160,6 +198,10 @@ type ReproStats struct {
 	FittestParentReuse int
 	// MaxParentReuse is the reuse of whichever parent was used most.
 	MaxParentReuse int
+	// SpeciateDur is the wall-clock time of the speciation phase within
+	// this epoch — observability only, deliberately excluded from
+	// serialization so histories stay byte-identical across hosts.
+	SpeciateDur time.Duration `json:"-"`
 }
 
 // Epoch runs selection and reproduction: speciates the evaluated
@@ -178,21 +220,37 @@ func (p *Population) Epoch() (ReproStats, error) {
 		p.BestEver = b.Clone()
 	}
 
-	p.Species = speciate(p.Genomes, p.Species, cfg, p.Generation, &p.nextSpeciesID)
+	specStart := time.Now()
+	p.spec.workers = p.EpochParallelism
+	p.Species = p.spec.speciate(p.Genomes, p.Species, cfg, p.Generation, &p.nextSpeciesID)
+	specDur := time.Since(specStart)
+
+	if p.scratch.parentUse == nil {
+		p.scratch.parentUse = make(map[int64]int)
+	} else {
+		clear(p.scratch.parentUse)
+	}
 	stats := ReproStats{
-		Generation: p.Generation,
-		NumSpecies: len(p.Species),
-		ParentUse:  make(map[int64]int),
+		Generation:  p.Generation,
+		NumSpecies:  len(p.Species),
+		ParentUse:   p.scratch.parentUse,
+		SpeciateDur: specDur,
 	}
 
 	survivors := p.cullStagnant()
 	if len(survivors) == 0 {
 		return stats, fmt.Errorf("neat: generation %d: all species extinct", p.Generation)
 	}
-	surviving := make(map[int]bool, len(survivors))
+	if p.scratch.surviving == nil {
+		p.scratch.surviving = make(map[int]bool, len(survivors))
+	} else {
+		clear(p.scratch.surviving)
+	}
+	surviving := p.scratch.surviving
 	for _, s := range survivors {
 		surviving[s.ID] = true
 	}
+	stats.Species = make([]SpeciesInfo, 0, len(p.Species))
 	for _, s := range p.Species {
 		stats.Species = append(stats.Species, SpeciesInfo{
 			ID:          s.ID,
@@ -202,6 +260,9 @@ func (p *Population) Epoch() (ReproStats, error) {
 			Stagnant:    !surviving[s.ID],
 		})
 	}
+	// Non-total comparator (best-fitness ties possible): stays on
+	// sort.Slice so tie order matches the pre-kernel implementation
+	// exactly.
 	sort.Slice(stats.Species, func(i, j int) bool {
 		return stats.Species[i].BestFitness > stats.Species[j].BestFitness
 	})
@@ -214,13 +275,13 @@ func (p *Population) Epoch() (ReproStats, error) {
 		if quota <= 0 {
 			continue
 		}
-		members := append([]*gene.Genome(nil), s.Members...)
-		sort.Slice(members, func(i, j int) bool {
-			if members[i].Fitness != members[j].Fitness {
-				return members[i].Fitness > members[j].Fitness
-			}
-			return members[i].ID < members[j].ID // deterministic tiebreak
-		})
+		// Sort into the reusable member buffer (s.Members keeps its
+		// assignment order — MeanAdjustedFitness and the next epoch
+		// depend on it). The buffer is recycled per species: parents
+		// aliases it only within this iteration.
+		members := append(p.scratch.members[:0], s.Members...)
+		p.scratch.members = members
+		slices.SortFunc(members, compareMembers)
 
 		// Elites survive unchanged.
 		for e := 0; e < cfg.Elitism && e < len(members) && quota > 0; e++ {
@@ -275,17 +336,42 @@ func (p *Population) Epoch() (ReproStats, error) {
 	return stats, nil
 }
 
+// compareMembers is the member sort order: fitness descending, genome
+// id ascending as the deterministic tiebreak. The comparator is total
+// (ids are unique), so the unstable sort has a unique result and the
+// slices.SortFunc swap from sort.Slice cannot reorder ties.
+func compareMembers(a, b *gene.Genome) int {
+	switch {
+	case a.Fitness > b.Fitness:
+		return -1
+	case a.Fitness < b.Fitness:
+		return 1
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
+	}
+	return 0
+}
+
 // cullStagnant removes species stagnant beyond MaxStagnation, always
 // preserving at least SpeciesElitism species (the fittest ones).
 func (p *Population) cullStagnant() []*Species {
 	cfg := &p.Config
-	ordered := append([]*Species(nil), p.Species...)
+	ordered := append(p.scratch.ordered[:0], p.Species...)
+	p.scratch.ordered = ordered
+	// Non-total comparator (best-fitness ties decide survival rank):
+	// stays on sort.Slice for byte-identical tie order.
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].BestFitness > ordered[j].BestFitness })
-	var out []*Species
+	out := p.scratch.survivors[:0]
 	for rank, s := range ordered {
 		if rank < cfg.SpeciesElitism || !s.Stagnant(p.Generation, cfg.MaxStagnation) {
 			out = append(out, s)
 		}
+	}
+	p.scratch.survivors = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -294,7 +380,8 @@ func (p *Population) cullStagnant() []*Species {
 // proportion to their mean (shared) fitness, flooring at MinSpeciesSize.
 func (p *Population) apportion(species []*Species) []int {
 	cfg := &p.Config
-	means := make([]float64, len(species))
+	means := append(p.scratch.means[:0], make([]float64, len(species))...)
+	p.scratch.means = means
 	minMean := means[0]
 	for i, s := range species {
 		means[i] = s.MeanAdjustedFitness()
@@ -309,16 +396,17 @@ func (p *Population) apportion(species []*Species) []int {
 		means[i] = means[i] - minMean + 1e-9
 		total += means[i]
 	}
-	quotas := make([]int, len(species))
+	quotas := p.scratch.quotas[:0]
 	assigned := 0
 	for i := range species {
 		q := int(float64(cfg.PopulationSize) * means[i] / total)
 		if q < cfg.MinSpeciesSize {
 			q = cfg.MinSpeciesSize
 		}
-		quotas[i] = q
+		quotas = append(quotas, q)
 		assigned += q
 	}
+	p.scratch.quotas = quotas
 	// Normalize to exactly PopulationSize by trimming the largest /
 	// growing the smallest quotas.
 	for assigned > cfg.PopulationSize {
@@ -347,11 +435,15 @@ func (p *Population) apportion(species []*Species) []int {
 	return quotas
 }
 
-// allParents concatenates every species' survivor pool.
+// allParents concatenates every species' survivor pool into the shared
+// parent scratch buffer (valid until the next Epoch).
 func (p *Population) allParents(species []*Species) []*gene.Genome {
-	var out []*gene.Genome
+	out := p.scratch.parents[:0]
 	for _, s := range species {
-		members := append([]*gene.Genome(nil), s.Members...)
+		members := append(p.scratch.members[:0], s.Members...)
+		p.scratch.members = members
+		// Non-total comparator (fitness ties): stays on sort.Slice for
+		// byte-identical tie order with the pre-kernel implementation.
 		sort.Slice(members, func(i, j int) bool { return members[i].Fitness > members[j].Fitness })
 		cut := int(float64(len(members))*p.Config.SurvivalThreshold + 0.5)
 		if cut < 1 {
@@ -359,6 +451,7 @@ func (p *Population) allParents(species []*Species) []*gene.Genome {
 		}
 		out = append(out, members[:cut]...)
 	}
+	p.scratch.parents = out
 	return out
 }
 
@@ -384,11 +477,12 @@ func (p *Population) makeChild(parents []*gene.Genome, use map[int64]int) *gene.
 	p.nextGenomeID++
 
 	p1 := p.pickParent(parents)
-	m := &mutator{
+	m := mutator{
 		cfg:        cfg,
 		rnd:        p.rnd,
 		rec:        p.rec,
 		ids:        p.ids,
+		scratch:    &p.scratch,
 		generation: p.Generation,
 		child:      childID,
 		parent1:    p1.ID,

@@ -113,6 +113,7 @@ func BenchmarkCompatDistanceRAMScale(b *testing.B) {
 		b.Fatal(err)
 	}
 	a, c := p.Genomes[0], p.Genomes[1]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		CompatDistance(a, c, &cfg)

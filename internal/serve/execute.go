@@ -17,7 +17,20 @@ import (
 // only difference is a WorkerID suffixing their checkpoint files.
 type localExecutor struct {
 	cfg Config
+	// phases aggregates per-phase generation wall-clock
+	// (evaluate/speciate/reproduce) across every cache-miss run this
+	// executor computes; the scheduler adopts it into the /metrics tree.
+	phases *hwsim.Counters
 }
+
+func newLocalExecutor(cfg Config) *localExecutor {
+	return &localExecutor{cfg: cfg, phases: hwsim.New("phases")}
+}
+
+// Counters exposes the executor's phase-accounting node; the scheduler
+// mounts it into the daemon's /metrics registry via the same adoption
+// seam the cluster Dispatcher uses.
+func (e *localExecutor) Counters() *hwsim.Counters { return e.phases }
 
 // Execute resolves one job through the shared run cache (ordinary or
 // island flavor), streaming records through sink either live (cache
@@ -37,6 +50,7 @@ func (e *localExecutor) Execute(ctx context.Context, j *Job, sink hwsim.Sink) (O
 		Parallelism: e.cfg.RunnerParallelism,
 		BatchWidth:  e.cfg.RunnerBatchWidth,
 		OnRunner:    j.PublishRunner,
+		Phases:      e.phases,
 	}
 	if e.cfg.CheckpointDir != "" {
 		key := j.Spec.key()

@@ -198,7 +198,7 @@ func NewScheduler(cfg Config) *Scheduler {
 	}
 	s.exec = cfg.Executor
 	if s.exec == nil {
-		s.exec = &localExecutor{cfg: cfg}
+		s.exec = newLocalExecutor(cfg)
 	}
 	if cw, ok := s.exec.(interface{ Counters() *hwsim.Counters }); ok {
 		// An executor with its own registry (the cluster Dispatcher)

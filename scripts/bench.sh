@@ -4,7 +4,9 @@
 # Runs the compiled-kernel microbenches (compile, feed, full-generation
 # evaluation — the NetworkFeed/EvaluateGeneration patterns also match
 # their Batch/Scalar variants, so the tensorized engine and the scalar
-# reference are recorded side by side), the replay-layer benches (one SoC generation, one EvE
+# reference are recorded side by side), the reproduction-kernel benches
+# (cold speciation pass, full epoch, single compatibility distance at
+# RAM scale), the replay-layer benches (one SoC generation, one EvE
 # trace replay), the serving-layer throughput bench (jobs/sec through a
 # real genesysd over loopback HTTP, serial vs parallel worker pool),
 # the persistent-store hit bench (bytes/sec through a verified
@@ -25,7 +27,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_PR8.json}
+out=${BENCH_OUT:-BENCH_PR9.json}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
@@ -34,6 +36,10 @@ go test -run=NONE -bench='BenchmarkNetworkCompile|BenchmarkNetworkFeed' \
     -benchmem -count=3 -benchtime=2s ./internal/network/ | tee -a "$tmp"
 go test -run=NONE -bench='BenchmarkEvaluateGeneration' \
     -benchmem -count=5 -benchtime=3s ./internal/evolve/ | tee -a "$tmp"
+
+echo "== reproduction-kernel benches (speciation, full epoch, distance)"
+go test -run=NONE -bench='BenchmarkSpeciate$|BenchmarkEpoch$|BenchmarkCompatDistanceRAMScale' \
+    -benchmem -count=3 -benchtime=3x ./internal/neat/ | tee -a "$tmp"
 
 echo "== replay benches"
 go test -run=NONE -bench='BenchmarkSoCRunGeneration' \

@@ -7,7 +7,8 @@
 # compiled-network kernel and its reuse cache, the hardware counter
 # registry, fault injector included, the experiment harness's
 # singleflight run cache + parallel scheduler, the persistent run
-# store, and the genesysd serving layer with its integration test), a
+# store, the genesysd serving layer with its integration test, and the
+# NEAT speciation kernel whose distance pass fans out over workers), a
 # server smoke that runs the real genesysd + genesysctl binaries end to
 # end on an ephemeral port, a durability smoke that SIGKILLs a
 # store-backed daemon and proves the restarted one replays the result
@@ -37,17 +38,22 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (evolve, network, env, hw, experiments, serve, store, cluster)"
+echo "== go test -race (evolve, network, env, hw, experiments, serve, store, cluster, neat, gene)"
 # env is in the race set since the batch engine: BatchEnv lane state is
 # advanced by evaluation workers whose batch tests (network batch
 # differential, env lockstep, evolve batch-vs-serial) all run here.
 # store is in it since the persistent run store: commits, hits, GC, and
 # quarantine all cross the scheduler's worker pool. cluster is in it
 # since fleet mode: membership heartbeats, ring rebuilds, and the
-# sharded island session protocol are all cross-goroutine.
+# sharded island session protocol are all cross-goroutine. neat and
+# gene are in it since the speciation kernel: the parallel distance
+# pass fans CompatDistance over worker goroutines reading shared
+# genomes, and the kernel differential test forces multi-worker fan-out
+# even on a single-core host.
 go test -race ./internal/evolve/... ./internal/network/... ./internal/env/... \
     ./internal/hw/... ./internal/experiments/... ./internal/serve/... \
-    ./internal/store/... ./internal/cluster/...
+    ./internal/store/... ./internal/cluster/... ./internal/neat/... \
+    ./internal/gene/...
 
 echo "== genesysd smoke (real binaries, ephemeral port)"
 smokedir=$(mktemp -d)
@@ -71,6 +77,13 @@ echo "$watch_out" | grep -q ": done solved=" || { echo "job did not finish" >&2;
 # counter-report type (dying on malformed JSON) before re-rendering it.
 "$smokedir/genesysctl" -addr "$addr" metrics > "$smokedir/metrics.json"
 grep -q '"genesysd"' "$smokedir/metrics.json" || { echo "metrics missing root" >&2; exit 1; }
+# The per-phase generation accounting must be present and nonzero after
+# a computed job: the local executor mounts its "phases" node into the
+# tree and every Step charges evaluate/speciate/reproduce wall-clock.
+for phase in evaluate_ns speciate_ns reproduce_ns; do
+    grep -q "\"$phase\": [1-9]" "$smokedir/metrics.json" \
+        || { echo "metrics missing nonzero $phase" >&2; exit 1; }
+done
 # SIGTERM must drain cleanly.
 kill -TERM "$daemon"
 wait "$daemon" || { echo "genesysd exited non-zero on SIGTERM" >&2; exit 1; }
@@ -184,6 +197,8 @@ echo "== bench smoke (kernel + batch + replay trajectory benches, 1 iteration)"
 # BenchmarkEvaluateGenerationBatch/Scalar) smoke here too.
 go test -run=NONE -bench='BenchmarkNetworkCompile|BenchmarkNetworkFeed' \
     -benchtime=1x ./internal/network/
+go test -run=NONE -bench='BenchmarkSpeciate$|BenchmarkEpoch$' \
+    -benchtime=1x ./internal/neat/
 go test -run=NONE -bench='BenchmarkEvaluateGeneration' \
     -benchtime=1x ./internal/evolve/
 go test -run=NONE -bench='BenchmarkSoCRunGeneration' \
