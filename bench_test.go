@@ -298,6 +298,23 @@ func BenchmarkFig10d_MemFootprint(b *testing.B) {
 	b.ReportMetric(first(b, r, "amidar-ram:gpuB/genesys"), "GPU_b-over-GeneSys")
 }
 
+// --- Pareto fronts: multi-objective evolution (PR10) ---
+
+func BenchmarkParetoFront(b *testing.B) {
+	r := regenerate(b, "pareto")
+	for _, wl := range []string{"cartpole", "lunarlander", "mountaincar"} {
+		size := first(b, r, wl+":frontSize")
+		if size < 1 {
+			b.Fatalf("%s produced an empty Pareto front", wl)
+		}
+		if pop := 64.0; size > pop {
+			b.Fatalf("%s front size %v exceeds the population", wl, size)
+		}
+	}
+	b.ReportMetric(first(b, r, "cartpole:frontSize"), "cartpole-front-size")
+	b.ReportMetric(first(b, r, "cartpole:bestFitness"), "cartpole-best-fitness")
+}
+
 // --- Fig. 11: design choices ---
 
 func BenchmarkFig11a_GeneComposition(b *testing.B) {

@@ -270,6 +270,17 @@ func main() {
 		}
 	}
 
+	// The PR10 NSGA-II headline, computed within this document: the
+	// retained Deb-2002 reference sort against the ENS-SS kernel on the
+	// identical population (same sizes, same objective vectors — the two
+	// implementations are pinned byte-identical by the differential
+	// tests, so the ratio isolates pure sorting cost).
+	if ref, ok := byName["BenchmarkNonDominatedSortReference"]; ok && ref.NsPerOp > 0 {
+		if kernel, ok := byName["BenchmarkNonDominatedSort"]; ok && kernel.NsPerOp > 0 {
+			doc.Headlines["NonDominatedSort_ref_vs_kernel_speedup"] = round2(ref.NsPerOp / kernel.NsPerOp)
+		}
+	}
+
 	// The PR8 cluster headline, computed within this document: fleet
 	// throughput with the widest worker count measured against the
 	// single-worker fleet (same coordinator, same dispatch path, so the

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/hw/hwsim"
+	"repro/internal/moea"
 	"repro/internal/serve"
 	"repro/internal/serve/signalctx"
 )
@@ -31,7 +32,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: genesysctl [-addr URL] <command> [args]
 
 commands:
-  submit      -workload W -pop N -generations N -seed N [-islands N -migration-every N] [-watch]
+  submit      -workload W -pop N -generations N -seed N [-islands N -migration-every N] [-objectives a+b+c] [-watch]
   watch       <job-id>
   cancel      <job-id>
   checkpoint  <job-id>
@@ -58,9 +59,26 @@ func printJSON(v any) {
 }
 
 // watchJob follows one job's SSE stream, printing a line per
-// generation and the terminal status.
+// generation (or per Pareto-front point, for records a multi-objective
+// job appends after its history) and the terminal status.
 func watchJob(ctx context.Context, c *serve.Client, id string) {
 	final, err := c.Watch(ctx, id, func(r hwsim.Record) error {
+		if strings.HasSuffix(r.Workload, "#front") {
+			var vals []string
+			for _, name := range r.Report.FloatNames() {
+				if name == "crowding" {
+					continue // rendered last, with the boundary sentinel handled
+				}
+				vals = append(vals, fmt.Sprintf("%s=%.2f", name, r.Report.Float(name)))
+			}
+			crowd := "crowding=boundary"
+			if c := r.Report.Float("crowding"); c != moea.CrowdingMax {
+				crowd = fmt.Sprintf("crowding=%.2f", c)
+			}
+			fmt.Printf("%s front point %2d  genome %d  %s  %s\n",
+				id, r.Report.Int("point"), r.Report.Int("genome_id"), strings.Join(vals, "  "), crowd)
+			return nil
+		}
 		fmt.Printf("%s gen %3d  max %8.2f  mean %8.2f  genes %6d\n",
 			id, r.Generation,
 			r.Report.Float("max_fitness"), r.Report.Float("mean_fitness"),
@@ -110,11 +128,13 @@ func main() {
 		seed := fs.Uint64("seed", 42, "run seed")
 		islands := fs.Int("islands", 0, "island count for an island-model run (0 = panmictic)")
 		migEvery := fs.Int("migration-every", 0, "generations between champion migrations (with -islands; 0 = server default)")
+		objectives := fs.String("objectives", "", "objective vector for a multi-objective (NSGA-II) run, '+'- or comma-joined, e.g. fitness+genes+energy (empty = scalar)")
 		watch := fs.Bool("watch", false, "follow the job's record stream to completion")
 		fs.Parse(args)
 		st, err := c.Submit(ctx, serve.Spec{
 			Workload: *workload, Population: *pop, Generations: *gens, Seed: *seed,
 			Islands: *islands, MigrationEvery: *migEvery,
+			Objectives: strings.ReplaceAll(*objectives, ",", "+"),
 		})
 		if err != nil {
 			die(err)

@@ -163,12 +163,19 @@ func main() {
 		cfg.WorkerID = cluster.MemberID(advAddr)
 	}
 	if *coordMode {
+		// The dispatcher exists before the registry so membership changes
+		// (join, death, revival) can trigger its rebalance pass: queued
+		// jobs whose consistent-hash owner moved are re-routed to the new
+		// owner; running jobs stay put.
+		disp := &serve.Dispatcher{}
 		members = cluster.NewMembership(cluster.MembershipConfig{
 			HeartbeatEvery:   *hbEvery,
 			HeartbeatTimeout: *hbTimeout,
 			FailAfter:        *failAfter,
+			OnChange:         disp.Rebalance,
 		})
-		cfg.Executor = &serve.Dispatcher{Members: members}
+		disp.Members = members
+		cfg.Executor = disp
 	}
 
 	sched := serve.NewScheduler(cfg)

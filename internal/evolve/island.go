@@ -50,6 +50,11 @@ type IslandSpec struct {
 	// (see Runner); they do not affect results.
 	Parallelism int
 	BatchWidth  int
+
+	// Phases, when set, receives every island runner's per-phase
+	// wall-clock counters (see Runner.Phases). Metrics only — never
+	// serialized, never part of the run's identity or results.
+	Phases *hwsim.Counters `json:"-"`
 }
 
 // Validate reports spec errors before any island is built.
@@ -211,6 +216,7 @@ func NewIslandGroup(spec IslandSpec, islands []int) (*IslandGroup, error) {
 		}
 		r.Parallelism = spec.Parallelism
 		r.BatchWidth = spec.BatchWidth
+		r.Phases = spec.Phases
 		r.TrackChampion = true
 		g.Runners = append(g.Runners, r)
 	}

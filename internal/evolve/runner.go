@@ -134,9 +134,18 @@ type Runner struct {
 	// GenStats and the per-generation record stream, which are pinned
 	// byte-identical across hosts and replays.
 	Phases *hwsim.Counters
+	// Objectives, when non-empty, switches the runner into Pareto
+	// (multi-objective) mode: every Step ranks the evaluated population
+	// with the NSGA-II machinery over this objective vector and shapes
+	// selection from the resulting total order; the rank-0 front is
+	// captured per generation (see Front). Empty keeps the scalar path
+	// byte-identical — no moea code runs. See pareto.go.
+	Objectives []string
 
 	// champion is the latest tracked best genome (TrackChampion).
 	champion *gene.Genome
+	// front is the latest generation's Pareto front (Objectives mode).
+	front []ParetoPoint
 
 	name     string
 	opCounts neat.OpCounts
@@ -572,6 +581,17 @@ func (r *Runner) Step(ctx context.Context) (GenStats, error) {
 	st.NormMax = w.Normalize(st.MaxFitness)
 	st.NormMean = w.Normalize(st.MeanFitness)
 	st.Solved = st.MaxFitness >= w.Target
+
+	if len(r.Objectives) > 0 {
+		// Pareto mode: rank the evaluated population and shape selection
+		// from the NSGA-II total order. Stats above were already taken
+		// from the task fitness, so records and Solved stay meaningful;
+		// shaping is skipped on the final (solved) generation, whose
+		// population is never reproduced.
+		if err := r.applyPareto(!st.Solved); err != nil {
+			return GenStats{}, err
+		}
+	}
 
 	var speciateDur, reproduceDur time.Duration
 	if !st.Solved {

@@ -57,6 +57,19 @@ type islandKey struct {
 	seed           uint64
 }
 
+// paretoKey identifies one unique Pareto-mode run. The objective
+// vector (joined '+', identity order) is part of the key: the same
+// (workload, pop, gens, seed) evolved under NSGA-II selection is a
+// different computation than the scalar run, and a different vector
+// order is a different run.
+type paretoKey struct {
+	workload    string
+	population  int
+	generations int
+	seed        uint64
+	objectives  string
+}
+
 // studyKey identifies one unique multi-run study. seed is the study
 // base seed; per-run seeds derive from it via evolve.RunSeed, a
 // different stream from single-run seeds, so studies and single runs
@@ -154,6 +167,7 @@ var (
 	studyCache  flightMap[studyKey, *evolve.Study]
 	priceCache  flightMap[runKey, *comparison]
 	islandCache flightMap[islandKey, *evolve.IslandRun]
+	paretoCache flightMap[paretoKey, *evolve.ParetoRun]
 )
 
 // evolutionsRun counts actual evolution executions — bumped only when
@@ -172,6 +186,7 @@ func ResetCaches() {
 	studyCache.reset()
 	priceCache.reset()
 	islandCache.reset()
+	paretoCache.reset()
 	evolutionsRun.Store(0)
 }
 

@@ -24,7 +24,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10ab", "fig10c", "fig10d", "fig11a", "fig11b", "fig11c",
 		"fig2", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b",
 		"fig8a", "fig8b", "fig8c", "fig9a", "fig9b", "fig9c", "fig9d",
-		"footnote1", "resilience", "table1", "table2", "table3",
+		"footnote1", "pareto", "resilience", "table1", "table2", "table3",
 	}
 	got := IDs()
 	if len(got) != len(want) {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/evolve"
+	"repro/internal/hw/hwsim"
 	"repro/internal/store"
 )
 
@@ -46,6 +47,10 @@ type IslandRequest struct {
 	// (single-process path only; a distributed Run ships its own).
 	Parallelism int
 	BatchWidth  int
+	// Phases, when set, receives the island runners' live per-phase
+	// wall-clock counters on a single-process cache-miss computation
+	// (metrics only, never stored).
+	Phases *hwsim.Counters
 	// Run, when set, executes the cache-miss computation — the
 	// coordinator passes the distributed fleet executor here. Nil runs
 	// the single-process reference (evolve.RunIslands). Either way the
@@ -98,6 +103,7 @@ func RunSharedIsland(req IslandRequest) (*IslandOutcome, error) {
 		Seed:           req.Seed,
 		Parallelism:    req.Parallelism,
 		BatchWidth:     req.BatchWidth,
+		Phases:         req.Phases,
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err

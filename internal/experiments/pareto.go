@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/evolve"
+	"repro/internal/hw/hwsim"
+	"repro/internal/moea"
+	"repro/internal/store"
+)
+
+// This file threads the Pareto (multi-objective) run type through the
+// same two cache tiers ordinary and island runs use — a singleflight
+// memory cache keyed on the full pareto tuple, backed by the
+// persistent store (one pareto.json artifact per key) — and registers
+// the Pareto-front figure generator over the existing workloads.
+
+// paretoSchema stamps pareto.json artifacts.
+const paretoSchema = "genesys-pareto/1"
+
+const paretoFile = "pareto.json"
+
+// paretoDoc is the pareto.json payload.
+type paretoDoc struct {
+	Schema string            `json:"schema"`
+	Run    *evolve.ParetoRun `json:"run"`
+}
+
+// ParetoRequest describes one Pareto-mode run to resolve through the
+// shared cache. The tuple (Workload, Population, Generations, Seed,
+// Objectives — order included) is the identity; the rest shapes
+// execution.
+type ParetoRequest struct {
+	Workload    string
+	Population  int
+	Generations int
+	Seed        uint64
+	Objectives  []string
+
+	// Ctx cancels a cache-miss computation; nil means Background.
+	Ctx context.Context
+	// Parallelism / BatchWidth shape the runner's evaluation.
+	Parallelism int
+	BatchWidth  int
+	// Phases, when set, receives the runner's live per-phase wall-clock
+	// counters on a cache-miss computation (metrics only, never stored).
+	Phases *hwsim.Counters
+	// Sink, when set, receives the live per-generation record stream of
+	// a cache-miss computation (replays come from the returned run).
+	Sink hwsim.Sink
+}
+
+// ParetoOutcome is the result of a shared Pareto request.
+type ParetoOutcome struct {
+	Run *evolve.ParetoRun
+	// Computed is true only for the request whose computation executed.
+	Computed bool
+	// Stored reports the cache miss was served from the persistent
+	// store (no computation ran).
+	Stored bool
+}
+
+// JoinObjectives renders an objective vector in the canonical '+'
+// form used by store keys and the wire ("fitness+genes+energy").
+func JoinObjectives(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += "+"
+		}
+		out += n
+	}
+	return out
+}
+
+// SplitObjectives parses the canonical '+' form back to a vector.
+func SplitObjectives(joined string) []string {
+	if joined == "" {
+		return nil
+	}
+	var out []string
+	start := 0
+	for i := 0; i <= len(joined); i++ {
+		if i == len(joined) || joined[i] == '+' {
+			out = append(out, joined[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func (req ParetoRequest) key() paretoKey {
+	return paretoKey{
+		workload:    req.Workload,
+		population:  req.Population,
+		generations: req.Generations,
+		seed:        req.Seed,
+		objectives:  JoinObjectives(req.Objectives),
+	}
+}
+
+func paretoStoreKeyFor(k paretoKey) store.Key {
+	return store.Key{
+		Workload:    k.workload,
+		Population:  k.population,
+		Generations: k.generations,
+		Seed:        k.seed,
+		Objectives:  k.objectives,
+	}
+}
+
+// RunSharedPareto resolves one Pareto-mode run through the package's
+// singleflight cache and the persistent store, computing on a cold
+// miss via evolve.RunPareto.
+func RunSharedPareto(req ParetoRequest) (*ParetoOutcome, error) {
+	spec := evolve.ParetoSpec{
+		Workload:    req.Workload,
+		Population:  req.Population,
+		Generations: req.Generations,
+		Seed:        req.Seed,
+		Objectives:  req.Objectives,
+		Parallelism: req.Parallelism,
+		BatchWidth:  req.BatchWidth,
+		Phases:      req.Phases,
+		Sink:        req.Sink,
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	out := &ParetoOutcome{}
+	key := req.key()
+	run, err := paretoCache.get(key, func() (*evolve.ParetoRun, error) {
+		if stored, ok := loadStoredPareto(key); ok {
+			out.Stored = true
+			return stored, nil
+		}
+		out.Computed = true
+		ctx := req.Ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		evolutionsRun.Add(1)
+		r, cerr := evolve.RunPareto(ctx, spec)
+		if cerr != nil {
+			return nil, cerr
+		}
+		commitStoredPareto(key, r)
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Run = run
+	return out, nil
+}
+
+// loadStoredPareto rehydrates a Pareto run from the disk tier.
+func loadStoredPareto(k paretoKey) (*evolve.ParetoRun, bool) {
+	s := activeStore.Load()
+	if s == nil {
+		return nil, false
+	}
+	key := paretoStoreKeyFor(k)
+	art, ok := s.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var doc paretoDoc
+	if err := json.Unmarshal(art.Files[paretoFile], &doc); err != nil || doc.Schema != paretoSchema || doc.Run == nil {
+		reason := "decode: bad pareto.json"
+		if err != nil {
+			reason = fmt.Sprintf("decode: %v", err)
+		}
+		s.QuarantineKey(key, reason)
+		return nil, false
+	}
+	if doc.Run.Seed != k.seed || JoinObjectives(doc.Run.Objectives) != k.objectives {
+		s.QuarantineKey(key, "decode: pareto.json does not match its key")
+		return nil, false
+	}
+	return doc.Run, true
+}
+
+// commitStoredPareto writes a freshly computed Pareto run to the disk
+// tier (best-effort, like commitStored).
+func commitStoredPareto(k paretoKey, run *evolve.ParetoRun) {
+	s := activeStore.Load()
+	if s == nil {
+		return
+	}
+	payload, err := json.Marshal(&paretoDoc{Schema: paretoSchema, Run: run})
+	if err != nil {
+		return
+	}
+	s.Put(paretoStoreKeyFor(k),
+		store.Meta{Solved: run.Solved, BestFitness: run.BestFitness, Generations: len(run.History)},
+		map[string][]byte{paretoFile: payload})
+}
+
+// PeekSharedPareto answers a Pareto request from memory or disk
+// without computing — the coordinator's store-hit proxy for pareto
+// jobs, mirroring PeekShared/PeekSharedIsland.
+func PeekSharedPareto(workload string, population, generations int, seed uint64, objectives []string) (*evolve.ParetoRun, bool, bool) {
+	k := paretoKey{
+		workload:    workload,
+		population:  population,
+		generations: generations,
+		seed:        seed,
+		objectives:  JoinObjectives(objectives),
+	}
+	if run, ok := paretoCache.peek(k); ok {
+		return run, false, true
+	}
+	stored, ok := loadStoredPareto(k)
+	if !ok {
+		return nil, false, false
+	}
+	run, err := paretoCache.get(k, func() (*evolve.ParetoRun, error) { return stored, nil })
+	if err != nil {
+		return nil, false, false
+	}
+	return run, true, true
+}
+
+// --- the Pareto-front figure ---
+
+func init() {
+	register("pareto", ParetoFront)
+}
+
+// ParetoFront is the multi-objective experiment over the classic
+// control suite: each workload evolves under NSGA-II selection with
+// the canonical three-axis vector (task fitness up, genome size down,
+// structural chip energy down) and the figure reports the resulting
+// Pareto fronts — the accuracy/complexity/energy trade-off surface a
+// scalar run collapses to a single champion.
+func ParetoFront(opt Options) (*Result, error) {
+	res := &Result{ID: "pareto", Title: "Pareto fronts: fitness vs genome size vs chip energy (NSGA-II)"}
+	objectives := evolve.DefaultParetoObjectives()
+	for _, wl := range evolve.ControlSuite() {
+		out, err := RunSharedPareto(ParetoRequest{
+			Workload:    wl,
+			Population:  opt.popFor(wl),
+			Generations: opt.gensFor(wl),
+			Seed:        opt.Seed,
+			Objectives:  objectives,
+			Ctx:         opt.Ctx,
+			Parallelism: opt.Parallelism,
+			BatchWidth:  opt.BatchWidth,
+		})
+		if err != nil {
+			return nil, err
+		}
+		run := out.Run
+		t := Table{
+			Title:  fmt.Sprintf("%s front (pop %d, %d generations, objectives %s)", wl, run.Population, len(run.History), JoinObjectives(run.Objectives)),
+			Header: []string{"genome", "fitness", "genes", "energy_pJ", "crowding"},
+		}
+		minEnergy, maxFit := 0.0, 0.0
+		for i, p := range run.Front {
+			crowd := "boundary"
+			if p.Crowding != moea.CrowdingMax {
+				crowd = fnum(p.Crowding)
+			}
+			t.Rows = append(t.Rows, []string{
+				inum(p.GenomeID),
+				fnum(p.Values["fitness"]),
+				inum(int(p.Values["genes"])),
+				fnum(p.Values["energy"]),
+				crowd,
+			})
+			if i == 0 || p.Values["energy"] < minEnergy {
+				minEnergy = p.Values["energy"]
+			}
+			if i == 0 || p.Values["fitness"] > maxFit {
+				maxFit = p.Values["fitness"]
+			}
+		}
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("front size %d of population %d; best task fitness %s; cheapest front genome %s pJ",
+				len(run.Front), run.Population, fnum(run.BestFitness), fnum(minEnergy)))
+		res.Tables = append(res.Tables, t)
+		res.series(wl+":frontSize", float64(len(run.Front)))
+		res.series(wl+":bestFitness", run.BestFitness)
+		res.series(wl+":frontMaxFitness", maxFit)
+		res.series(wl+":frontMinEnergy", minEnergy)
+		res.series(wl+":generations", float64(len(run.History)))
+	}
+	return res, nil
+}

@@ -68,6 +68,18 @@ func (r Report) Float(path string) float64 {
 	return n.Floats[leaf]
 }
 
+// FloatNames lists this node's float counter names sorted — for
+// renderers that walk a record's values without knowing them ahead of
+// time (e.g. a Pareto front record's objective columns).
+func (r Report) FloatNames() []string {
+	names := make([]string, 0, len(r.Floats))
+	for name := range r.Floats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Value reads either kind of counter at a slash path, reporting
 // whether it exists. Float counters win on a name collision.
 func (r Report) Value(path string) (float64, bool) {

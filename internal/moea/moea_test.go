@@ -1,0 +1,203 @@
+package moea
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+var testObjectives = []Objective{
+	{Name: "fitness", Maximize: true},
+	{Name: "genes"},
+	{Name: "energy"},
+}
+
+// randomPoints builds a population with clustered values so duplicate
+// coordinates, dominated chains and degenerate axes all occur.
+func randomPoints(rng *rand.Rand, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			ID: int64(i + 1),
+			Values: []float64{
+				float64(rng.Intn(50)) / 2,       // fitness (maximized)
+				float64(10 + rng.Intn(40)),      // genes
+				float64(rng.Intn(30)) * 12.5625, // energy pJ
+			},
+		}
+	}
+	return pts
+}
+
+// TestSortMatchesReference differentially pins the ENS-SS kernel
+// against the retained O(MN²) reference across many random
+// populations: identical ranks, crowding bits, fronts and total order.
+func TestSortMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, n := range []int{1, 2, 3, 7, 32, 150} {
+			pts := randomPoints(rng, n)
+			got := Sort(pts, testObjectives)
+			want := ReferenceSort(pts, testObjectives)
+			if !reflect.DeepEqual(got.Rank, want.Rank) {
+				t.Fatalf("seed %d n %d: ranks diverge\nkernel %v\nref    %v", seed, n, got.Rank, want.Rank)
+			}
+			for i := range got.Crowding {
+				if math.Float64bits(got.Crowding[i]) != math.Float64bits(want.Crowding[i]) {
+					t.Fatalf("seed %d n %d: crowding[%d] %v != %v", seed, n, i, got.Crowding[i], want.Crowding[i])
+				}
+			}
+			if !reflect.DeepEqual(got.Fronts, want.Fronts) {
+				t.Fatalf("seed %d n %d: fronts diverge\nkernel %v\nref    %v", seed, n, got.Fronts, want.Fronts)
+			}
+			if !reflect.DeepEqual(got.Order, want.Order) {
+				t.Fatalf("seed %d n %d: total order diverges\nkernel %v\nref    %v", seed, n, got.Order, want.Order)
+			}
+		}
+	}
+}
+
+// TestSortDeterministic re-sorts the same population concurrently from
+// many goroutines (race-clean, forced fan-out) and requires
+// byte-identical results every time.
+func TestSortDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randomPoints(rng, 96)
+	want, err := json.Marshal(Sort(pts, testObjectives))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				got, err := json.Marshal(Sort(pts, testObjectives))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if string(got) != string(want) {
+					t.Errorf("sort result diverged across invocations")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSortProperties checks the NSGA-II invariants directly: front 0
+// is mutually non-dominating, every rank-r>0 point is dominated by
+// some rank r-1 point, boundaries carry CrowdingMax, and the total
+// order is strict.
+func TestSortProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := randomPoints(rng, 80)
+	res := Sort(pts, testObjectives)
+	vals := minimized(pts, testObjectives)
+
+	for _, i := range res.Fronts[0] {
+		for _, j := range res.Fronts[0] {
+			if i != j && dominates(vals[i], vals[j]) {
+				t.Fatalf("front 0 not mutually non-dominating: %d dominates %d", i, j)
+			}
+		}
+	}
+	for r := 1; r < len(res.Fronts); r++ {
+		for _, i := range res.Fronts[r] {
+			found := false
+			for _, j := range res.Fronts[r-1] {
+				if dominates(vals[j], vals[i]) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("rank %d point %d not dominated by any rank %d point", r, i, r-1)
+			}
+		}
+	}
+	for r, front := range res.Fronts {
+		if len(front) == 1 && res.Crowding[front[0]] != CrowdingMax {
+			t.Fatalf("singleton front %d lacks CrowdingMax", r)
+		}
+	}
+	seen := map[int]bool{}
+	for _, i := range res.Order {
+		if seen[i] {
+			t.Fatalf("total order repeats index %d", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) != len(pts) {
+		t.Fatalf("total order covers %d of %d points", len(seen), len(pts))
+	}
+}
+
+// TestCrowdingSurvivesJSON pins the MaxFloat64 sentinel design: a
+// Result round-trips through encoding/json bit-exactly, which +Inf
+// would not.
+func TestCrowdingSurvivesJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randomPoints(rng, 40)
+	res := Sort(pts, testObjectives)
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Result
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	for i := range res.Crowding {
+		if math.Float64bits(res.Crowding[i]) != math.Float64bits(back.Crowding[i]) {
+			t.Fatalf("crowding[%d] changed across JSON: %v -> %v", i, res.Crowding[i], back.Crowding[i])
+		}
+	}
+}
+
+// TestValidate exercises the rejection paths.
+func TestValidate(t *testing.T) {
+	objs := testObjectives
+	cases := []struct {
+		name string
+		pts  []Point
+		objs []Objective
+	}{
+		{"no objectives", []Point{{ID: 1, Values: []float64{1}}}, nil},
+		{"width mismatch", []Point{{ID: 1, Values: []float64{1, 2}}}, objs},
+		{"nan value", []Point{{ID: 1, Values: []float64{math.NaN(), 0, 0}}}, objs},
+		{"duplicate id", []Point{
+			{ID: 1, Values: []float64{1, 2, 3}},
+			{ID: 1, Values: []float64{4, 5, 6}},
+		}, objs},
+	}
+	for _, tc := range cases {
+		if err := Validate(tc.pts, tc.objs); err == nil {
+			t.Errorf("%s: Validate accepted invalid input", tc.name)
+		}
+	}
+	ok := []Point{{ID: 1, Values: []float64{1, 2, 3}}, {ID: 2, Values: []float64{3, 2, 1}}}
+	if err := Validate(ok, objs); err != nil {
+		t.Errorf("valid input rejected: %v", err)
+	}
+}
+
+// TestMaximizeDirection checks that a maximized axis actually inverts
+// dominance: with fitness maximized, the higher-fitness point must be
+// rank 0 and the lower rank 1 when all else is equal.
+func TestMaximizeDirection(t *testing.T) {
+	pts := []Point{
+		{ID: 1, Values: []float64{10, 5, 5}},
+		{ID: 2, Values: []float64{20, 5, 5}},
+	}
+	res := Sort(pts, testObjectives)
+	if res.Rank[1] != 0 || res.Rank[0] != 1 {
+		t.Fatalf("maximized fitness not honored: ranks %v", res.Rank)
+	}
+}

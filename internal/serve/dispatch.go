@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -40,10 +41,37 @@ type Dispatcher struct {
 	init     sync.Once
 	counters *hwsim.Counters
 	ctr      *hwsim.Counters
+	// phases aggregates per-phase generation wall-clock for every run
+	// the coordinator computes in-process (island local fallback, Pareto
+	// local resolution) — the same accounting localExecutor keeps, so
+	// a coordinator's /metrics carries the phase tree too.
+	phases *hwsim.Counters
 
 	mu       sync.Mutex
 	inflight map[string]int // live dispatched jobs per worker id
+	live     map[string]*liveDispatch
 }
+
+// liveDispatch is one job currently placed on a remote worker, indexed
+// by coordinator job ID — the state Rebalance consults when the ring
+// changes.
+type liveDispatch struct {
+	key      string
+	workerID string
+	remoteID string
+	cl       *Client
+	// rebalanced marks that the coordinator itself cancelled the remote
+	// job to move it to a new ring owner; runOn turns the resulting
+	// cancelled outcome into errRebalanced instead of a worker failure.
+	rebalanced atomic.Bool
+}
+
+// errRebalanced marks a dispatch attempt ended by the coordinator
+// cancelling a still-queued remote job whose consistent-hash owner
+// changed (a new worker joined). The dispatch loop retries on the new
+// owner WITHOUT marking the old worker dead — it is healthy; the job
+// just belongs elsewhere now.
+var errRebalanced = errors.New("serve: queued job re-routed to its new ring owner")
 
 // workerFailure marks a dispatch error attributable to the worker
 // (transport broke, stream died) rather than to the job itself — the
@@ -74,11 +102,22 @@ func (d *Dispatcher) Counters() *hwsim.Counters {
 	return d.counters
 }
 
+// Phases exposes the dispatcher's phase-accounting node — the
+// scheduler mounts it next to the cluster registry, so the coordinator
+// reports evaluate/speciate/reproduce wall-clock for runs it computes
+// in-process exactly as a single-process daemon does.
+func (d *Dispatcher) Phases() *hwsim.Counters {
+	d.ensure()
+	return d.phases
+}
+
 func (d *Dispatcher) ensure() {
 	d.init.Do(func() {
 		d.counters = hwsim.New("cluster")
 		d.ctr = d.counters
+		d.phases = hwsim.New("phases")
 		d.inflight = map[string]int{}
+		d.live = map[string]*liveDispatch{}
 		// Fleet gauges refresh at snapshot time from the registry.
 		d.counters.OnSnapshot(func(c *hwsim.Counters) {
 			status, points := d.Members.Status()
@@ -118,6 +157,9 @@ func (d *Dispatcher) Execute(ctx context.Context, j *Job, sink hwsim.Sink) (Outc
 	if j.Spec.IsIsland() {
 		return d.executeIsland(ctx, j, sink)
 	}
+	if j.Spec.IsPareto() {
+		return d.executePareto(ctx, j, sink)
+	}
 	if run, ok := experiments.PeekShared(j.Spec.Workload, j.Spec.Population, j.Spec.Generations, j.Spec.Seed); ok {
 		d.ctr.AddInt("proxied_store_hits", 1)
 		return replayShared(j.Spec.Workload, run, sink), nil
@@ -148,6 +190,90 @@ func replayShared(workload string, run *experiments.SharedRun, sink hwsim.Sink) 
 	}
 }
 
+// executePareto resolves a Pareto-mode job: answered from the
+// coordinator's own run cache or store when possible, computed
+// in-process when the fleet is empty (mirroring the island local
+// fallback), and otherwise dispatched to the key's ring owner exactly
+// like an ordinary job — the worker streams history plus front
+// records, whose generation numbers continue monotonically, so the
+// coordinator's dedup proxy forwards them unchanged.
+func (d *Dispatcher) executePareto(ctx context.Context, j *Job, sink hwsim.Sink) (Outcome, error) {
+	objectives := experiments.SplitObjectives(j.Spec.Objectives)
+	if run, stored, ok := experiments.PeekSharedPareto(j.Spec.Workload, j.Spec.Population, j.Spec.Generations, j.Spec.Seed, objectives); ok {
+		d.ctr.AddInt("proxied_store_hits", 1)
+		evolve.ReplayParetoRecords(run, sink)
+		return paretoOutcome(run, true, stored), nil
+	}
+	if len(d.Members.Live()) == 0 {
+		// No fleet: the coordinator is the only compute. The run is
+		// deterministic, so the result is identical to a worker's.
+		d.ctr.AddInt("pareto_local", 1)
+		return resolveParetoLocal(ctx, j, sink, d.phases, 0, 0)
+	}
+	return d.dispatch(ctx, j, sink)
+}
+
+// registerDispatch publishes a placed job for Rebalance to see.
+func (d *Dispatcher) registerDispatch(jobID string, ld *liveDispatch) {
+	d.mu.Lock()
+	d.live[jobID] = ld
+	d.mu.Unlock()
+}
+
+func (d *Dispatcher) unregisterDispatch(jobID string) {
+	d.mu.Lock()
+	delete(d.live, jobID)
+	d.mu.Unlock()
+}
+
+// Rebalance re-routes still-queued remote jobs whose consistent-hash
+// owner changed — the membership OnChange hook calls it when a worker
+// joins, dies, or revives. Only queued jobs move: a running job has
+// progress worth keeping where it is, while a queued one has none to
+// lose and its new owner may already hold the key's checkpoint or
+// store entry. The race with the remote scheduler (the job starts
+// between the state probe and the cancel) is benign — the job
+// checkpoints at its next generation boundary and the new owner
+// resumes from that orphan.
+func (d *Dispatcher) Rebalance() {
+	if d.Members == nil {
+		// The hook can be wired before the registry is assigned.
+		return
+	}
+	d.ensure()
+	d.mu.Lock()
+	placed := make([]*liveDispatch, 0, len(d.live))
+	for _, ld := range d.live {
+		placed = append(placed, ld)
+	}
+	d.mu.Unlock()
+	for _, ld := range placed {
+		d.maybeRebalance(ld)
+	}
+}
+
+// maybeRebalance moves one placed job to its current ring owner when
+// the key no longer belongs to the worker it was placed on and the
+// remote job has not started. Called by the membership-change pass for
+// every placed job, and by runOn right after placement — the double
+// check that closes the race between placing a job and a concurrent
+// join (whichever side runs second sees the other's state).
+func (d *Dispatcher) maybeRebalance(ld *liveDispatch) {
+	owner, ok := d.Members.Owner(ld.key)
+	if !ok || owner.ID == ld.workerID || ld.rebalanced.Load() {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	st, err := ld.cl.Job(ctx, ld.remoteID)
+	if err != nil || st.State != StateQueued {
+		return
+	}
+	ld.rebalanced.Store(true)
+	ld.cl.Cancel(ctx, ld.remoteID)
+	d.ctr.AddInt("rebalanced", 1)
+}
+
 // dispatch runs one ordinary job on the fleet with failover. Stream
 // state (last generation seen, best fitness, forwarded count) lives
 // across attempts so a re-dispatched worker's history replay is
@@ -171,6 +297,13 @@ func (d *Dispatcher) dispatch(ctx context.Context, j *Job, sink hwsim.Sink) (Out
 		}
 		if ctx.Err() != nil {
 			return Outcome{}, err
+		}
+		if errors.Is(err, errRebalanced) {
+			// The coordinator moved the still-queued job off a healthy
+			// worker; retry resolves the new ring owner. No failure is
+			// reported — nothing is wrong with the old worker.
+			lastErr = err
+			continue
 		}
 		var fail *workerFailure
 		if !errors.As(err, &fail) {
@@ -206,6 +339,13 @@ func (d *Dispatcher) runOn(ctx context.Context, owner cluster.Member, j *Job, si
 	if err != nil {
 		return Outcome{}, &workerFailure{err}
 	}
+	ld := &liveDispatch{key: j.Spec.key(), workerID: owner.ID, remoteID: st.ID, cl: cl}
+	d.registerDispatch(j.ID, ld)
+	defer d.unregisterDispatch(j.ID)
+	// A membership change between Owner and this registration would
+	// have run its rebalance pass without seeing this job — re-check
+	// the ring now that the placement is visible.
+	d.maybeRebalance(ld)
 	// Cancelling the coordinator job cancels the remote one, freeing
 	// the worker's slot (and letting it checkpoint) promptly.
 	stop := context.AfterFunc(ctx, func() {
@@ -248,6 +388,12 @@ func (d *Dispatcher) runOn(ctx context.Context, owner cluster.Member, j *Job, si
 		}
 		return out, nil
 	case StateCancelled:
+		if ld.rebalanced.Load() {
+			// The coordinator itself cancelled the queued remote job
+			// because its ring owner changed: retry on the new owner
+			// without blaming this (healthy) worker.
+			return Outcome{}, errRebalanced
+		}
 		// The coordinator did not cancel (its context is alive — a
 		// cancelled context surfaces as a Watch error above), so the
 		// worker cancelled on its own: it is draining. The job
@@ -291,6 +437,10 @@ func (d *Dispatcher) executeIsland(ctx context.Context, j *Job, sink hwsim.Sink)
 // no live workers the coordinator falls back to the local reference.
 func (d *Dispatcher) runIslandsOnFleet(ctx context.Context, j *Job) (*evolve.IslandRun, error) {
 	spec := j.Spec.islandSpec()
+	// The local fallback computes in-process; account its phase
+	// wall-clock like any other local run. (Distributed shards account
+	// on their own workers.)
+	spec.Phases = d.phases
 	session := j.Spec.key() + "@" + j.ID
 	var lastErr error
 	for attempt := 0; attempt < d.attempts(); attempt++ {

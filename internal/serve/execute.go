@@ -39,6 +39,9 @@ func (e *localExecutor) Execute(ctx context.Context, j *Job, sink hwsim.Sink) (O
 	if j.Spec.IsIsland() {
 		return e.executeIsland(ctx, j, sink)
 	}
+	if j.Spec.IsPareto() {
+		return e.executePareto(ctx, j, sink)
+	}
 
 	req := experiments.SharedRequest{
 		Workload:    j.Spec.Workload,
@@ -111,11 +114,63 @@ func (e *localExecutor) executeIsland(ctx context.Context, j *Job, sink hwsim.Si
 		Ctx:            ctx,
 		Parallelism:    e.cfg.RunnerParallelism,
 		BatchWidth:     e.cfg.RunnerBatchWidth,
+		Phases:         e.phases,
 	})
 	if err != nil {
 		return Outcome{}, err
 	}
 	return islandOutcome(out, sink), nil
+}
+
+// executePareto resolves a Pareto-mode job through the Pareto run
+// cache. On a cache miss this executor's run streams its history live
+// through sink and appends the front records once the run completes;
+// every hit (memory, store, or singleflight wait) replays the full
+// stream from the memoized run. Both paths produce byte-identical
+// record streams, so subscribers cannot tell a hit from a miss. Like
+// island jobs, Pareto runs have no checkpoint machinery — the run is
+// deterministic end to end and the store tier dedupes across restarts.
+func (e *localExecutor) executePareto(ctx context.Context, j *Job, sink hwsim.Sink) (Outcome, error) {
+	return resolveParetoLocal(ctx, j, sink, e.phases, e.cfg.RunnerParallelism, e.cfg.RunnerBatchWidth)
+}
+
+// resolveParetoLocal resolves a Pareto job through the shared Pareto
+// cache in-process — the body of localExecutor.executePareto, shared
+// with the Dispatcher's empty-fleet fallback.
+func resolveParetoLocal(ctx context.Context, j *Job, sink hwsim.Sink, phases *hwsim.Counters, parallelism, batchWidth int) (Outcome, error) {
+	out, err := experiments.RunSharedPareto(experiments.ParetoRequest{
+		Workload:    j.Spec.Workload,
+		Population:  j.Spec.Population,
+		Generations: j.Spec.Generations,
+		Seed:        j.Spec.Seed,
+		Objectives:  experiments.SplitObjectives(j.Spec.Objectives),
+		Ctx:         ctx,
+		Parallelism: parallelism,
+		BatchWidth:  batchWidth,
+		Phases:      phases,
+		Sink:        sink,
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	if out.Computed {
+		// History already streamed live; finish with the front records.
+		evolve.FrontRecords(out.Run, sink)
+	} else {
+		evolve.ReplayParetoRecords(out.Run, sink)
+	}
+	return paretoOutcome(out.Run, !out.Computed, out.Stored), nil
+}
+
+// paretoOutcome folds a resolved Pareto run into a job Outcome.
+func paretoOutcome(run *evolve.ParetoRun, shared, stored bool) Outcome {
+	return Outcome{
+		Solved: run.Solved,
+		Shared: shared,
+		Stored: stored,
+		Best:   run.BestFitness,
+		Gens:   len(run.History),
+	}
 }
 
 // islandOutcome converts a shared island result into a job Outcome,

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/evolve"
+	"repro/internal/experiments"
 )
 
 // State is a job's lifecycle position. The transitions are:
@@ -48,6 +49,14 @@ type Spec struct {
 	// than a panmictic run of the same tuple.
 	Islands        int `json:"islands,omitempty"`
 	MigrationEvery int `json:"migration_every,omitempty"`
+	// Objectives, when non-empty, makes this a Pareto (multi-objective)
+	// job: the population evolves under NSGA-II selection over the named
+	// objective vector and the job's stream and result carry the Pareto
+	// front. The canonical '+'-joined form ("fitness+genes+energy") is
+	// used on the wire and in the cache key — the vector, order
+	// included, is part of the run's identity. Mutually exclusive with
+	// Islands.
+	Objectives string `json:"objectives,omitempty"`
 	// Client identifies the submitter for the per-client in-flight
 	// cap; empty falls back to the transport identity (header, then
 	// remote address).
@@ -74,6 +83,20 @@ func (sp Spec) withDefaults() Spec {
 // IsIsland reports whether the spec requests an island-model run.
 func (sp Spec) IsIsland() bool { return sp.Islands > 0 }
 
+// IsPareto reports whether the spec requests a Pareto-mode run.
+func (sp Spec) IsPareto() bool { return sp.Objectives != "" }
+
+// paretoSpec maps the job spec onto the evolve-layer Pareto tuple.
+func (sp Spec) paretoSpec() evolve.ParetoSpec {
+	return evolve.ParetoSpec{
+		Workload:    sp.Workload,
+		Population:  sp.Population,
+		Generations: sp.Generations,
+		Seed:        sp.Seed,
+		Objectives:  experiments.SplitObjectives(sp.Objectives),
+	}
+}
+
 // islandSpec maps the job spec onto the evolve-layer island tuple.
 func (sp Spec) islandSpec() evolve.IslandSpec {
 	return evolve.IslandSpec{
@@ -97,8 +120,14 @@ func (sp Spec) validate() error {
 	if sp.Generations < 1 {
 		return fmt.Errorf("generations %d: need at least 1", sp.Generations)
 	}
+	if sp.IsIsland() && sp.IsPareto() {
+		return fmt.Errorf("islands and objectives are mutually exclusive")
+	}
 	if sp.IsIsland() {
 		return sp.islandSpec().Validate()
+	}
+	if sp.IsPareto() {
+		return sp.paretoSpec().Validate()
 	}
 	return nil
 }
@@ -111,6 +140,9 @@ func (sp Spec) key() string {
 	base := fmt.Sprintf("%s-p%d-g%d-s%d", sp.Workload, sp.Population, sp.Generations, sp.Seed)
 	if sp.IsIsland() {
 		base += fmt.Sprintf("-i%d-m%d", sp.Islands, sp.MigrationEvery)
+	}
+	if sp.IsPareto() {
+		base += "-o" + sp.Objectives
 	}
 	return base
 }

@@ -205,6 +205,13 @@ func NewScheduler(cfg Config) *Scheduler {
 		// mounts it into this daemon's /metrics tree.
 		s.counters.Adopt(cw.Counters())
 	}
+	if pw, ok := s.exec.(interface{ Phases() *hwsim.Counters }); ok {
+		// An executor keeping a separate phase-accounting node (the
+		// cluster Dispatcher — localExecutor's Counters() already IS its
+		// phase node) mounts it too, so coordinator /metrics carries
+		// evaluate/speciate/reproduce wall-clock like a worker's.
+		s.counters.Adopt(pw.Phases())
+	}
 	s.ctrStream.OnSnapshot(func(c *hwsim.Counters) {
 		s.mu.Lock()
 		var subs int64
@@ -408,6 +415,7 @@ func (s *Scheduler) Recover() (store.RecoveryReport, []*Job) {
 			Seed:           key.Seed,
 			Islands:        key.Islands,
 			MigrationEvery: key.MigrationEvery,
+			Objectives:     key.Objectives,
 			Client:         "(recovery)",
 		})
 		if err != nil {

@@ -20,8 +20,22 @@ func FuzzManifest(f *testing.F) {
 			Size:   3,
 		}},
 	})
+	front, _ := json.Marshal(&manifest{
+		Schema: Schema,
+		Key: Key{Workload: "cartpole", Population: 64, Generations: 30, Seed: 42,
+			Objectives: "fitness+genes+energy"},
+		Meta: Meta{BestFitness: 88.5, Generations: 30},
+		Files: []fileEntry{{
+			Name:   "pareto.json",
+			SHA256: "9f86d081884c7d659a2feaa0c55ad015a3bf4f1b2b0b822cd15d6c15b0f00a08",
+			Size:   3,
+		}},
+	})
 	f.Add(valid)
 	f.Add(valid[:len(valid)/2]) // torn write
+	f.Add(front)                // Pareto-front artifact manifest
+	f.Add(front[:len(front)/2])
+	f.Add([]byte(`{"schema":"genesys-store/1","key":{"workload":"x","population":1,"generations":1,"objectives":"fit-ness"},"files":[{"name":"pareto.json","sha256":"00","size":1}]}`))
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"schema":"genesys-store/1"}`))
 	f.Add([]byte(`{"schema":"genesys-store/1","key":{"workload":"x","population":1,"generations":1},"files":[]}`))
@@ -72,6 +86,9 @@ func FuzzManifest(f *testing.F) {
 func FuzzCheckpointKey(f *testing.F) {
 	f.Add("cartpole-p64-g30-s42.ckpt")
 	f.Add("alien-ram-p30-g8-s9001")
+	f.Add("cartpole-p64-g30-s42-ofitness+genes+energy")
+	f.Add("x-p2-g3-s1-o")
+	f.Add("foo-obar-p8-g5-s1")
 	f.Add("x-p2-g3-s18446744073709551615")
 	f.Add("notes.txt")
 	f.Add("-p1-g1-s1")

@@ -1,0 +1,118 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestParseKeyFilenameObjectives pins the Pareto key extension: the
+// "-o<objectives>" suffix parses, round-trips, and never confuses
+// ordinary or island keys.
+func TestParseKeyFilenameObjectives(t *testing.T) {
+	good := map[string]Key{
+		"cartpole-p64-g30-s42-ofitness+genes+energy": {
+			Workload: "cartpole", Population: 64, Generations: 30, Seed: 42,
+			Objectives: "fitness+genes+energy",
+		},
+		"alien-ram-p30-g8-s9-ofitness+energy.ckpt": {
+			Workload: "alien-ram", Population: 30, Generations: 8, Seed: 9,
+			Objectives: "fitness+energy",
+		},
+		"x-p2-g3-s1-ogenes+energy": {
+			Workload: "x", Population: 2, Generations: 3, Seed: 1,
+			Objectives: "genes+energy",
+		},
+		// A workload whose name contains "-o" must still parse as an
+		// ordinary key (the objectives charset rejects the dash-bearing
+		// candidate field).
+		"foo-obar-p8-g5-s1": {Workload: "foo-obar", Population: 8, Generations: 5, Seed: 1},
+		// Island keys are untouched by the objectives pass.
+		"cartpole-p64-g30-s42-i4-m5": {
+			Workload: "cartpole", Population: 64, Generations: 30, Seed: 42,
+			Islands: 4, MigrationEvery: 5,
+		},
+	}
+	for name, want := range good {
+		got, ok := ParseKeyFilename(name)
+		if !ok || got != want {
+			t.Errorf("ParseKeyFilename(%q) = %+v, %v; want %+v", name, got, ok, want)
+		}
+	}
+	bad := []string{
+		"cartpole-p64-g30-s42-o",         // empty objectives
+		"cartpole-p64-g30-s42-o++",       // empty segments
+		"cartpole-p64-g30-s42-oA+B",      // uppercase outside charset
+		"cartpole-p64-g30-s42-ofit-ness", // dash inside objective name
+	}
+	for _, name := range bad {
+		if k, ok := ParseKeyFilename(name); ok {
+			t.Errorf("ParseKeyFilename(%q) accepted: %+v", name, k)
+		}
+	}
+}
+
+// TestKeyObjectivesValidate pins the validation rules of the extended
+// tuple.
+func TestKeyObjectivesValidate(t *testing.T) {
+	ok := Key{Workload: "cartpole", Population: 64, Generations: 30, Seed: 42, Objectives: "fitness+genes+energy"}
+	if err := ok.validate(); err != nil {
+		t.Fatalf("valid pareto key rejected: %v", err)
+	}
+	if got := ok.String(); got != "cartpole-p64-g30-s42-ofitness+genes+energy" {
+		t.Fatalf("String() = %q", got)
+	}
+	bad := []Key{
+		{Workload: "c", Population: 1, Generations: 1, Objectives: "fitness", Islands: 2, MigrationEvery: 1},
+		{Workload: "c", Population: 1, Generations: 1, Objectives: "fit-ness"},
+		{Workload: "c", Population: 1, Generations: 1, Objectives: "+fitness"},
+		{Workload: "c", Population: 1, Generations: 1, Objectives: "Fitness"},
+	}
+	for _, k := range bad {
+		if err := k.validate(); err == nil {
+			t.Errorf("validate accepted %+v", k)
+		}
+	}
+}
+
+// TestFrontArtifactRoundTrip stores a Pareto-front artifact under an
+// objectives key and requires the verified Get to return the payload
+// byte-identically — the disk-replay path of pareto jobs — then pins
+// the quarantine-on-corruption contract for the same artifact class.
+func TestFrontArtifactRoundTrip(t *testing.T) {
+	s := openTest(t, Config{})
+	key := Key{
+		Workload: "cartpole", Population: 32, Generations: 10, Seed: 7,
+		Objectives: "fitness+genes+energy",
+	}
+	payload := []byte(`{"schema":"genesys-pareto/1","run":{"workload":"cartpole","front":[{"genome_id":3,"values":{"energy":1205.4,"fitness":88.5,"genes":24},"crowding":1.7976931348623157e+308}]}}`)
+	if err := s.Put(key, Meta{Solved: false, BestFitness: 88.5, Generations: 10}, map[string][]byte{
+		"pareto.json": payload,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	art, hit := s.Get(key)
+	if !hit {
+		t.Fatal("front artifact not found")
+	}
+	if art.Key != key {
+		t.Fatalf("artifact key %+v != %+v", art.Key, key)
+	}
+	if !bytes.Equal(art.Files["pareto.json"], payload) {
+		t.Fatal("front payload not byte-identical after round trip")
+	}
+
+	// Corrupt the payload on disk: the verified Get must refuse and
+	// quarantine rather than replay a damaged front.
+	path := filepath.Join(s.dirOf(key), "pareto.json")
+	if err := os.WriteFile(path, append(payload, 'x'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit := s.Get(key); hit {
+		t.Fatal("corrupt front artifact replayed")
+	}
+	if len(s.Quarantined()) == 0 {
+		t.Fatal("corrupt front artifact not quarantined")
+	}
+}

@@ -78,14 +78,26 @@ type Key struct {
 	// identity.
 	Islands        int `json:"islands,omitempty"`
 	MigrationEvery int `json:"migration_every,omitempty"`
+	// Objectives extends the tuple for Pareto (multi-objective) runs:
+	// the objective vector in identity order, joined with '+'
+	// (e.g. "fitness+genes+energy"; empty for scalar runs). Vector
+	// order is part of identity — it fixes the NSGA-II lexicographic
+	// pre-sort and crowding accumulation order. Mutually exclusive
+	// with the island fields.
+	Objectives string `json:"objectives,omitempty"`
 }
 
 // String renders the canonical form, e.g. "cartpole-p64-g30-s42";
-// island runs append the island fields: "cartpole-p64-g30-s42-i4-m5".
+// island runs append the island fields: "cartpole-p64-g30-s42-i4-m5";
+// Pareto runs append the objective vector:
+// "cartpole-p64-g30-s42-ofitness+genes+energy".
 func (k Key) String() string {
 	base := fmt.Sprintf("%s-p%d-g%d-s%d", k.Workload, k.Population, k.Generations, k.Seed)
 	if k.Islands > 0 {
 		base += fmt.Sprintf("-i%d-m%d", k.Islands, k.MigrationEvery)
+	}
+	if k.Objectives != "" {
+		base += "-o" + k.Objectives
 	}
 	return base
 }
@@ -116,38 +128,57 @@ func (k Key) validate() error {
 			return fmt.Errorf("store: migration_every %d (need >= 1)", k.MigrationEvery)
 		}
 	}
+	if k.Objectives != "" {
+		if k.Islands != 0 {
+			return fmt.Errorf("store: objectives and islands are mutually exclusive")
+		}
+		for _, seg := range strings.Split(k.Objectives, "+") {
+			if seg == "" {
+				return fmt.Errorf("store: objectives %q: empty segment", k.Objectives)
+			}
+			for _, r := range seg {
+				if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '_' {
+					return fmt.Errorf("store: objectives %q: invalid character %q", k.Objectives, r)
+				}
+			}
+		}
+	}
 	return nil
 }
 
 // ParseKeyFilename recovers a Key from a checkpoint or artifact name
 // of the canonical forms
 //
-//	<workload>-p<P>-g<G>-s<S>[-i<I>-m<M>][~<owner>][.ckpt]
+//	<workload>-p<P>-g<G>-s<S>[-i<I>-m<M>][-o<objectives>][~<owner>][.ckpt]
 //
 // The "~<owner>" segment is the checkpoint owner suffix cluster-mode
 // workers append so two workers can never interleave writes into the
 // same checkpoint file; '~' never appears in a canonical key, so the
 // strip is unambiguous. Workload names may themselves contain dashes,
-// so the numeric fields parse from the right; the optional island
-// fields are accepted only when both parse round-trip clean, otherwise
-// the name is re-read as an ordinary key (a workload legitimately
-// ending in "-i3-m2" is impossible to confuse because the strict
-// numeric round-trip and key validation arbitrate). It reports false
-// for anything else.
+// so the numeric fields parse from the right; the optional island and
+// objectives fields are accepted only when they parse round-trip
+// clean, otherwise the name is re-read as an ordinary key (a workload
+// legitimately ending in "-i3-m2" or "-ofoo" is impossible to confuse
+// because the strict round-trips and key validation arbitrate). It
+// reports false for anything else.
 func ParseKeyFilename(name string) (Key, bool) {
 	name = strings.TrimSuffix(name, ".ckpt")
 	if i := strings.LastIndex(name, "~"); i >= 0 {
 		name = name[:i]
 	}
-	if k, ok := parseKeyName(name, true); ok {
+	if k, ok := parseKeyName(name, false, true); ok {
 		return k, true
 	}
-	return parseKeyName(name, false)
+	if k, ok := parseKeyName(name, true, false); ok {
+		return k, true
+	}
+	return parseKeyName(name, false, false)
 }
 
 // parseKeyName parses one canonical key name, optionally consuming the
-// trailing island fields.
-func parseKeyName(name string, islandFields bool) (Key, bool) {
+// trailing island or objectives fields (mutually exclusive in valid
+// keys, so the two are never requested together).
+func parseKeyName(name string, islandFields, objectiveField bool) (Key, bool) {
 	var k Key
 	cut := func(sep string) (string, bool) {
 		i := strings.LastIndex(name, sep)
@@ -164,6 +195,13 @@ func parseKeyName(name string, islandFields bool) (Key, bool) {
 			return false
 		}
 		return true
+	}
+	if objectiveField {
+		o, ok := cut("-o")
+		if !ok || o == "" {
+			return Key{}, false
+		}
+		k.Objectives = o
 	}
 	if islandFields {
 		m, ok := cut("-m")

@@ -12,13 +12,15 @@
 # the persistent-store hit bench (bytes/sec through a verified
 # Get — the disk-replay fast path), the cluster throughput bench (a
 # coordinator dispatching over loopback HTTP to a 1-worker vs 2-worker
-# fleet — the ratio is the cluster-scaling headline), and, unless
-# BENCH_QUICK=1, the full-suite harness bench plus the root
-# figure-regeneration benches, then renders everything into a
-# machine-readable trajectory record via cmd/benchjson:
+# fleet — the ratio is the cluster-scaling headline), the NSGA-II
+# non-dominated-sort benches (ENS-SS kernel vs the retained Deb-2002
+# reference on the same population — the ratio is the multi-objective
+# headline), and, unless BENCH_QUICK=1, the full-suite harness bench
+# plus the root figure-regeneration benches, then renders everything
+# into a machine-readable trajectory record via cmd/benchjson:
 #
-#	scripts/bench.sh                 # full run, writes BENCH_PR8.json
-#	BENCH_QUICK=1 scripts/bench.sh   # kernel + replay + serve + store + cluster microbenches only
+#	scripts/bench.sh                 # full run, writes BENCH_PR10.json
+#	BENCH_QUICK=1 scripts/bench.sh   # kernel + replay + serve + store + cluster + moea microbenches only
 #
 # The JSON carries ns/op, B/op, allocs/op and custom figure metrics for
 # every benchmark, the pinned pre-PR baselines, and headline speedup
@@ -27,7 +29,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_PR9.json}
+out=${BENCH_OUT:-BENCH_PR10.json}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
@@ -58,6 +60,10 @@ go test -run=NONE -bench='BenchmarkStoreHitThroughput' \
 echo "== cluster throughput bench (coordinator + fleet, 1 vs 2 workers)"
 go test -run=NONE -bench='BenchmarkClusterThroughput' \
     -benchmem -count=2 -benchtime=1s ./internal/serve/ | tee -a "$tmp"
+
+echo "== NSGA-II non-dominated-sort benches (ENS-SS kernel vs Deb-2002 reference)"
+go test -run=NONE -bench='BenchmarkNonDominatedSort' \
+    -benchmem -count=3 -benchtime=2s ./internal/moea/ | tee -a "$tmp"
 
 if [ "${BENCH_QUICK:-0}" != "1" ]; then
     echo "== experiment-suite bench (full harness, cold cache per iteration)"

@@ -8,9 +8,12 @@
 # registry, fault injector included, the experiment harness's
 # singleflight run cache + parallel scheduler, the persistent run
 # store, the genesysd serving layer with its integration test, and the
-# NEAT speciation kernel whose distance pass fans out over workers), a
+# NEAT speciation kernel whose distance pass fans out over workers,
+# and the NSGA-II sort whose determinism test runs concurrently), a
 # server smoke that runs the real genesysd + genesysctl binaries end to
-# end on an ephemeral port, a durability smoke that SIGKILLs a
+# end on an ephemeral port — including a multi-objective job whose
+# Pareto-front stream must replay byte-identically from the shared run
+# cache — a durability smoke that SIGKILLs a
 # store-backed daemon and proves the restarted one replays the result
 # from disk, a one-iteration smoke over the kernel and replay
 # trajectory benchmarks (so a change that breaks the bench harness
@@ -38,7 +41,7 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (evolve, network, env, hw, experiments, serve, store, cluster, neat, gene)"
+echo "== go test -race (evolve, network, env, hw, experiments, serve, store, cluster, neat, gene, moea)"
 # env is in the race set since the batch engine: BatchEnv lane state is
 # advanced by evaluation workers whose batch tests (network batch
 # differential, env lockstep, evolve batch-vs-serial) all run here.
@@ -49,11 +52,13 @@ echo "== go test -race (evolve, network, env, hw, experiments, serve, store, clu
 # gene are in it since the speciation kernel: the parallel distance
 # pass fans CompatDistance over worker goroutines reading shared
 # genomes, and the kernel differential test forces multi-worker fan-out
-# even on a single-core host.
+# even on a single-core host. moea is in it since NSGA-II: its
+# determinism test runs the sort from concurrent goroutines to prove
+# byte-identical fronts at any parallelism.
 go test -race ./internal/evolve/... ./internal/network/... ./internal/env/... \
     ./internal/hw/... ./internal/experiments/... ./internal/serve/... \
     ./internal/store/... ./internal/cluster/... ./internal/neat/... \
-    ./internal/gene/...
+    ./internal/gene/... ./internal/moea/...
 
 echo "== genesysd smoke (real binaries, ephemeral port)"
 smokedir=$(mktemp -d)
@@ -84,6 +89,22 @@ for phase in evaluate_ns speciate_ns reproduce_ns; do
     grep -q "\"$phase\": [1-9]" "$smokedir/metrics.json" \
         || { echo "metrics missing nonzero $phase" >&2; exit 1; }
 done
+# A multi-objective (NSGA-II) job end to end: the watch stream must
+# carry Pareto-front records after the history, and an identical
+# resubmission must replay the exact same stream from the shared run
+# cache — byte-identical modulo the job ids.
+p1=$("$smokedir/genesysctl" -addr "$addr" submit \
+    -workload cartpole -pop 24 -generations 3 -seed 888 \
+    -objectives fitness+genes+energy -watch)
+echo "$p1" | tail -4
+echo "$p1" | grep -q "front point" || { echo "no Pareto-front records" >&2; exit 1; }
+echo "$p1" | grep -q ": done solved=" || { echo "pareto job did not finish" >&2; exit 1; }
+p2=$("$smokedir/genesysctl" -addr "$addr" submit \
+    -workload cartpole -pop 24 -generations 3 -seed 888 \
+    -objectives fitness+genes+energy -watch)
+strip_ids() { grep -v '^submitted ' | sed 's/job-[0-9]*//g'; }
+[ "$(echo "$p1" | strip_ids)" = "$(echo "$p2" | strip_ids)" ] \
+    || { echo "pareto replay not byte-identical to the live stream" >&2; exit 1; }
 # SIGTERM must drain cleanly.
 kill -TERM "$daemon"
 wait "$daemon" || { echo "genesysd exited non-zero on SIGTERM" >&2; exit 1; }
@@ -211,6 +232,8 @@ go test -run=NONE -bench='BenchmarkStoreHitThroughput' \
     -benchtime=1x ./internal/store/
 go test -run=NONE -bench='BenchmarkClusterThroughput' \
     -benchtime=1x ./internal/serve/
+go test -run=NONE -bench='BenchmarkNonDominatedSort' \
+    -benchtime=1x ./internal/moea/
 
 echo "== fuzz smoke (trace, neat checkpoint, store manifest)"
 # -fuzzminimizetime is bounded in execs: the default 60s-per-input
